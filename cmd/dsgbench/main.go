@@ -1,0 +1,59 @@
+// Command dsgbench regenerates the experiment tables of EXPERIMENTS.md:
+// empirical validations of every lemma/theorem in the paper plus the
+// comparison studies against the static skip graph and SplayNet.
+//
+// Usage:
+//
+//	dsgbench                 # run every experiment at full scale
+//	dsgbench -run E1,E8      # run selected experiments
+//	dsgbench -quick          # smaller sizes (seconds instead of minutes)
+//	dsgbench -seed 7         # change the random seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lsasg/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "comma-separated experiment ids (e.g. E1,E8); empty = all")
+		quick = flag.Bool("quick", false, "run at reduced scale")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	sc := experiments.Full()
+	if *quick {
+		sc = experiments.Quick()
+	}
+	sc.Seed = *seed
+
+	selected := map[string]bool{}
+	for _, id := range strings.Split(*run, ",") {
+		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
+			selected[id] = true
+		}
+	}
+
+	ran := 0
+	for _, e := range experiments.All() {
+		if len(selected) > 0 && !selected[e.ID] {
+			continue
+		}
+		start := time.Now()
+		table := e.Run(sc)
+		table.Render(os.Stdout)
+		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "dsgbench: no experiment matched %q\n", *run)
+		os.Exit(2)
+	}
+}

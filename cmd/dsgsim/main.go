@@ -1,0 +1,79 @@
+// Command dsgsim runs one self-adjusting skip-graph simulation and prints
+// per-request traces and a summary.
+//
+// Usage:
+//
+//	dsgsim -n 64 -m 500 -workload zipf -s 1.3
+//	dsgsim -n 128 -m 2000 -workload temporal -w 8 -trace=false
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lsasg"
+	"lsasg/internal/workload"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 64, "number of nodes")
+		m       = flag.Int("m", 500, "number of requests")
+		kind    = flag.String("workload", "zipf", "uniform|zipf|pairs|temporal|clustered|adversarial")
+		s       = flag.Float64("s", 1.2, "zipf exponent")
+		w       = flag.Int("w", 8, "temporal working-set size")
+		k       = flag.Int("k", 4, "hot pair count")
+		balance = flag.Int("a", 4, "a-balance parameter")
+		seed    = flag.Int64("seed", 1, "random seed")
+		trace   = flag.Bool("trace", true, "print per-request lines")
+	)
+	flag.Parse()
+
+	var gen workload.Generator
+	switch *kind {
+	case "uniform":
+		gen = workload.Uniform{Seed: *seed}
+	case "zipf":
+		gen = workload.Zipf{Seed: *seed, S: *s}
+	case "pairs":
+		gen = workload.RepeatedPairs{Seed: *seed, K: *k, Hot: 0.9}
+	case "temporal":
+		gen = workload.Temporal{Seed: *seed, W: *w, Churn: 0.1}
+	case "clustered":
+		gen = workload.Clustered{Seed: *seed, C: 8, Local: 0.9}
+	case "adversarial":
+		gen = workload.Adversarial{Seed: *seed}
+	default:
+		fmt.Fprintf(os.Stderr, "dsgsim: unknown workload %q\n", *kind)
+		os.Exit(2)
+	}
+
+	nw, err := lsasg.New(*n, lsasg.WithSeed(*seed), lsasg.WithBalance(*balance))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsgsim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("# %d nodes, %d requests, workload %s, a=%d\n", *n, *m, gen.Name(), *balance)
+	for i, r := range gen.Generate(*n, *m) {
+		res, err := nw.Request(r.Src, r.Dst)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsgsim: request %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		if *trace {
+			fmt.Printf("t=%-6d %3d→%-3d dist=%-3d T=%-4d rounds=%-5d level=%d\n",
+				i+1, r.Src, r.Dst, res.RouteDistance, res.WorkingSetNumber,
+				res.TransformRounds, res.DirectLevel)
+		}
+	}
+	st := nw.Stats()
+	fmt.Printf("\nrequests            %d\n", st.Requests)
+	fmt.Printf("mean route distance %.3f\n", st.MeanRouteDistance)
+	fmt.Printf("max route distance  %d\n", st.MaxRouteDistance)
+	fmt.Printf("transform rounds    %d\n", st.TotalTransformRounds)
+	fmt.Printf("WS(sigma)           %.1f (%.3f/request)\n", st.WorkingSetBound,
+		st.WorkingSetBound/float64(st.Requests))
+	fmt.Printf("height              %d\n", st.Height)
+	fmt.Printf("dummies             %d\n", st.DummyCount)
+}

@@ -1,0 +1,77 @@
+// Command dsgviz renders a skip graph as the paper's binary tree of linked
+// lists (Fig 1(b)) and animates how DSG reshapes it under a workload.
+//
+// Usage:
+//
+//	dsgviz -n 10                  # random skip graph, one snapshot
+//	dsgviz -n 10 -steps 5         # topology after each of 5 hot requests
+//	dsgviz -fig1                  # the paper's Figure 1 instance
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lsasg"
+	"lsasg/internal/skipgraph"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 10, "number of nodes")
+		steps = flag.Int("steps", 0, "requests between a hot pair to animate")
+		fig1  = flag.Bool("fig1", false, "render the paper's Figure 1 skip graph")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	if *fig1 {
+		renderFig1()
+		return
+	}
+
+	nw, err := lsasg.New(*n, lsasg.WithSeed(*seed))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsgviz: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("# initial topology")
+	nw.RenderTopology(os.Stdout)
+	hotA, hotB := 0, *n-1
+	for i := 0; i < *steps; i++ {
+		if _, err := nw.Request(hotA, hotB); err != nil {
+			fmt.Fprintf(os.Stderr, "dsgviz: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n# after request %d: %d → %d\n", i+1, hotA, hotB)
+		nw.RenderTopology(os.Stdout)
+	}
+	if *steps > 0 {
+		if ok, lvl := nw.DirectlyLinked(hotA, hotB); ok {
+			fmt.Printf("\nnodes %d and %d are directly linked at level %d\n", hotA, hotB, lvl)
+		}
+	}
+}
+
+// renderFig1 prints the 6-node, 3-level skip graph of the paper's Fig 1,
+// with the letter names used there.
+func renderFig1() {
+	g := skipgraph.NewFromVectors([]skipgraph.VectorEntry{
+		{Key: 1, ID: 1, Vector: "00"},   // A
+		{Key: 7, ID: 7, Vector: "10"},   // G
+		{Key: 10, ID: 10, Vector: "00"}, // J
+		{Key: 13, ID: 13, Vector: "01"}, // M
+		{Key: 18, ID: 18, Vector: "11"}, // R
+		{Key: 23, ID: 23, Vector: "10"}, // W
+	})
+	names := map[int64]string{1: "A", 7: "G", 10: "J", 13: "M", 18: "R", 23: "W"}
+	fmt.Println("# Figure 1: 6-node skip graph as a binary tree of linked lists")
+	fmt.Print(g.TreeView().RenderLevels(func(n *skipgraph.Node) string {
+		return names[n.ID()]
+	}, nil))
+	fmt.Println("\nmembership vectors:")
+	for _, n := range g.Nodes() {
+		fmt.Printf("  m(%s) = %q\n", names[n.ID()], n.MembershipVector())
+	}
+}

@@ -1,0 +1,50 @@
+// Quickstart: create a self-adjusting skip graph, send a few requests, and
+// watch a repeatedly communicating pair become directly linked.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"lsasg"
+)
+
+func main() {
+	// A 32-node overlay. Nodes are addressed 0..31.
+	nw, err := lsasg.New(32, lsasg.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// First communication between 3 and 29: full skip-graph routing, then
+	// the DSG transformation links them directly.
+	res, err := nw.Request(3, 29)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("first request 3→29: distance %d (working set %d), transform %d rounds\n",
+		res.RouteDistance, res.WorkingSetNumber, res.TransformRounds)
+
+	// The repeat is free: the pair now shares a linked list of size two.
+	res, err = nw.Request(3, 29)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("repeat request 3→29: distance %d (working set %d)\n",
+		res.RouteDistance, res.WorkingSetNumber)
+	if ok, lvl := nw.DirectlyLinked(3, 29); ok {
+		fmt.Printf("3 and 29 are directly linked at level %d\n", lvl)
+	}
+
+	// Meanwhile every other pair still routes in O(log n): the height
+	// stays logarithmic after each transformation.
+	d, err := nw.Distance(0, 31)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unrelated pair 0→31 distance: %d (height %d)\n", d, nw.Height())
+
+	fmt.Println("\ncurrent topology (tree of linked lists):")
+	nw.RenderTopology(os.Stdout)
+}

@@ -1,0 +1,129 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestStaticRoutes(t *testing.T) {
+	s := NewStatic(64, 3)
+	if err := s.Graph().Verify(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		u, v := rng.Intn(64), rng.Intn(64)
+		d, err := s.Request(u, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d < 0 {
+			t.Fatalf("negative distance %d", d)
+		}
+	}
+	if _, err := s.Request(-1, 0); err == nil {
+		t.Error("out-of-range request should fail")
+	}
+}
+
+func TestStaticNeverAdapts(t *testing.T) {
+	s := NewStatic(32, 7)
+	d1, _ := s.Request(0, 31)
+	for i := 0; i < 50; i++ {
+		s.Request(0, 31)
+	}
+	d2, _ := s.Request(0, 31)
+	if d1 != d2 {
+		t.Fatalf("static topology changed: %d → %d", d1, d2)
+	}
+}
+
+func TestSplayNetInvariants(t *testing.T) {
+	s := NewSplayNet(63)
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		u, v := rng.Intn(63), rng.Intn(63)
+		if u == v {
+			continue
+		}
+		d, err := s.Request(u, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d < 1 {
+			t.Fatalf("distance %d for distinct nodes", d)
+		}
+		if err := s.Verify(); err != nil {
+			t.Fatalf("after request %d: %v", i, err)
+		}
+	}
+}
+
+// TestSplayNetRepeatedPair: after serving (u, v), they are adjacent in the
+// tree, so the repeat costs exactly 1.
+func TestSplayNetRepeatedPair(t *testing.T) {
+	s := NewSplayNet(64)
+	if _, err := s.Request(5, 40); err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.Request(5, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1 {
+		t.Fatalf("repeat distance = %d, want 1", d)
+	}
+}
+
+// TestSplayNetAmortized: on a skewed workload the average distance must
+// beat the uniform-workload average (self-adjustment pays off).
+func TestSplayNetAmortized(t *testing.T) {
+	avg := func(hot bool) float64 {
+		s := NewSplayNet(128)
+		rng := rand.New(rand.NewSource(9))
+		total, count := 0, 0
+		for i := 0; i < 2000; i++ {
+			var u, v int
+			if hot {
+				u, v = rng.Intn(8), rng.Intn(8) // hot subset
+			} else {
+				u, v = rng.Intn(128), rng.Intn(128)
+			}
+			if u == v {
+				continue
+			}
+			d, err := s.Request(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += d
+			count++
+		}
+		return float64(total) / float64(count)
+	}
+	hot, uniform := avg(true), avg(false)
+	if hot >= uniform {
+		t.Errorf("skewed average %.2f not better than uniform %.2f", hot, uniform)
+	}
+}
+
+func TestSplayNetBadRequests(t *testing.T) {
+	s := NewSplayNet(8)
+	for _, rq := range [][2]int{{0, 0}, {-1, 3}, {3, 9}} {
+		if _, err := s.Request(rq[0], rq[1]); err == nil {
+			t.Errorf("request %v should fail", rq)
+		}
+	}
+}
+
+func TestSplayNetPanicsOnTinyN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewSplayNet(1)
+}

@@ -1,0 +1,225 @@
+package baseline
+
+import "fmt"
+
+// SplayNet is the self-adjusting binary-search-tree network of Avin et al.
+// (IPDPS 2013): nodes are arranged in a BST over their identifiers; a
+// request (u, v) costs the tree distance between u and v, after which u is
+// splayed to the root of the lowest subtree containing both endpoints and
+// v is splayed to u's child on v's side (the "double splay"). SplayNet is
+// the paper's closest prior work; unlike DSG it offers only amortized
+// (not per-request) O(log n) guarantees and no fault tolerance.
+type SplayNet struct {
+	n      int
+	root   int
+	left   []int
+	right  []int
+	parent []int
+}
+
+const nilNode = -1
+
+// NewSplayNet builds a balanced BST over identifiers 0..n-1.
+func NewSplayNet(n int) *SplayNet {
+	if n < 2 {
+		panic(fmt.Sprintf("baseline: SplayNet needs at least 2 nodes, got %d", n))
+	}
+	s := &SplayNet{
+		n:      n,
+		left:   make([]int, n),
+		right:  make([]int, n),
+		parent: make([]int, n),
+	}
+	for i := range s.left {
+		s.left[i], s.right[i], s.parent[i] = nilNode, nilNode, nilNode
+	}
+	s.root = s.buildBalanced(0, n-1, nilNode)
+	return s
+}
+
+func (s *SplayNet) buildBalanced(lo, hi, parent int) int {
+	if lo > hi {
+		return nilNode
+	}
+	mid := (lo + hi) / 2
+	s.parent[mid] = parent
+	s.left[mid] = s.buildBalanced(lo, mid-1, mid)
+	s.right[mid] = s.buildBalanced(mid+1, hi, mid)
+	return mid
+}
+
+// N returns the node count.
+func (s *SplayNet) N() int { return s.n }
+
+// Request serves (u, v): it returns the current BST distance between u and
+// v (number of edges on the tree path, so direct neighbours cost 1), then
+// performs the SplayNet double splay.
+func (s *SplayNet) Request(u, v int) (int, error) {
+	if u < 0 || u >= s.n || v < 0 || v >= s.n || u == v {
+		return 0, fmt.Errorf("baseline: bad request (%d, %d)", u, v)
+	}
+	dist := s.distance(u, v)
+	// Double splay: bring u to the root of the lowest subtree containing
+	// both endpoints, then v just below it.
+	lca := s.lca(u, v)
+	lcaParent := s.parent[lca]
+	s.splayUnder(u, lcaParent)
+	// After the first splay u occupies the old LCA position, so v lies in
+	// one of u's subtrees; splay v to u's child.
+	if u != v {
+		s.splayUnder(v, u)
+	}
+	return dist, nil
+}
+
+// distance returns the number of edges on the tree path u → v.
+func (s *SplayNet) distance(u, v int) int {
+	du, dv := s.depth(u), s.depth(v)
+	x, y := u, v
+	dist := 0
+	for du > dv {
+		x = s.parent[x]
+		du--
+		dist++
+	}
+	for dv > du {
+		y = s.parent[y]
+		dv--
+		dist++
+	}
+	for x != y {
+		x = s.parent[x]
+		y = s.parent[y]
+		dist += 2
+	}
+	return dist
+}
+
+func (s *SplayNet) depth(x int) int {
+	d := 0
+	for p := s.parent[x]; p != nilNode; p = s.parent[p] {
+		d++
+	}
+	return d
+}
+
+// lca returns the lowest common ancestor of u and v. In a BST over
+// integer keys it is the first node on the root path whose key lies in
+// [min(u,v), max(u,v)].
+func (s *SplayNet) lca(u, v int) int {
+	lo, hi := u, v
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	x := s.root
+	for {
+		switch {
+		case hi < x:
+			x = s.left[x]
+		case lo > x:
+			x = s.right[x]
+		default:
+			return x
+		}
+	}
+}
+
+// splayUnder splays x until its parent is `stop` (nilNode splays to root).
+func (s *SplayNet) splayUnder(x, stop int) {
+	for s.parent[x] != stop {
+		p := s.parent[x]
+		g := s.parent[p]
+		if g == stop {
+			s.rotate(x) // zig
+			continue
+		}
+		if (s.left[g] == p) == (s.left[p] == x) {
+			s.rotate(p) // zig-zig
+			s.rotate(x)
+		} else {
+			s.rotate(x) // zig-zag
+			s.rotate(x)
+		}
+	}
+}
+
+// rotate lifts x above its parent, preserving BST order.
+func (s *SplayNet) rotate(x int) {
+	p := s.parent[x]
+	if p == nilNode {
+		return
+	}
+	g := s.parent[p]
+	if s.left[p] == x {
+		s.left[p] = s.right[x]
+		if s.right[x] != nilNode {
+			s.parent[s.right[x]] = p
+		}
+		s.right[x] = p
+	} else {
+		s.right[p] = s.left[x]
+		if s.left[x] != nilNode {
+			s.parent[s.left[x]] = p
+		}
+		s.left[x] = p
+	}
+	s.parent[p] = x
+	s.parent[x] = g
+	if g == nilNode {
+		s.root = x
+	} else if s.left[g] == p {
+		s.left[g] = x
+	} else {
+		s.right[g] = x
+	}
+}
+
+// Verify checks the BST invariants (for tests): parent/child symmetry and
+// in-order key order.
+func (s *SplayNet) Verify() error {
+	seen := 0
+	var prev = -1
+	var walk func(x int) error
+	var check func(x int) error
+	check = func(x int) error {
+		if x == nilNode {
+			return nil
+		}
+		for _, c := range []int{s.left[x], s.right[x]} {
+			if c != nilNode && s.parent[c] != x {
+				return fmt.Errorf("node %d: child %d has parent %d", x, c, s.parent[c])
+			}
+		}
+		if err := check(s.left[x]); err != nil {
+			return err
+		}
+		return check(s.right[x])
+	}
+	walk = func(x int) error {
+		if x == nilNode {
+			return nil
+		}
+		if err := walk(s.left[x]); err != nil {
+			return err
+		}
+		if x <= prev {
+			return fmt.Errorf("in-order violation at %d after %d", x, prev)
+		}
+		prev = x
+		seen++
+		return walk(s.right[x])
+	}
+	if s.parent[s.root] != nilNode {
+		return fmt.Errorf("root %d has parent %d", s.root, s.parent[s.root])
+	}
+	if err := check(s.root); err != nil {
+		return err
+	}
+	if err := walk(s.root); err != nil {
+		return err
+	}
+	if seen != s.n {
+		return fmt.Errorf("walked %d nodes, want %d", seen, s.n)
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+// Package baseline implements the comparison systems for the evaluation:
+// a static (non-adjusting) skip graph — the classic Aspnes-Shah topology
+// DSG starts from — and SplayNet (Avin, Haeupler, Lotker, Scheideler,
+// Schmid, IPDPS 2013), the single-BST self-adjusting network the paper
+// positions itself against in §II.
+package baseline
+
+import (
+	"fmt"
+
+	"lsasg/internal/skipgraph"
+)
+
+// Static is a random skip graph that routes but never adapts. It is the
+// "no self-adjustment" baseline: every request costs the full skip-graph
+// routing distance regardless of the communication pattern.
+type Static struct {
+	g *skipgraph.Graph
+	n int
+}
+
+// NewStatic builds a static skip graph over n nodes.
+func NewStatic(n int, seed int64) *Static {
+	return &Static{g: skipgraph.NewRandom(n, seed), n: n}
+}
+
+// N returns the node count.
+func (s *Static) N() int { return s.n }
+
+// Height returns the skip-graph height.
+func (s *Static) Height() int { return s.g.Height() }
+
+// Request routes src → dst and returns the routing distance d_S (the
+// number of intermediate nodes). The topology never changes.
+func (s *Static) Request(src, dst int) (int, error) {
+	if src < 0 || src >= s.n || dst < 0 || dst >= s.n {
+		return 0, fmt.Errorf("baseline: index out of range: (%d, %d)", src, dst)
+	}
+	route, err := s.g.RouteKeys(skipgraph.KeyOf(int64(src)), skipgraph.KeyOf(int64(dst)))
+	if err != nil {
+		return 0, err
+	}
+	return route.Distance(), nil
+}
+
+// Graph exposes the underlying topology for verification in tests.
+func (s *Static) Graph() *skipgraph.Graph { return s.g }

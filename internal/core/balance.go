@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+
+	"lsasg/internal/skipgraph"
+)
+
+// repairBalance scans the freshly split list L (level dl) for runs of more
+// than `a` consecutive members assigned to the same side and breaks each by
+// inserting a dummy node into the sibling subgraph (§IV-F). Dummies copy
+// the list's membership prefix, take the opposite bit at dl+1, and stop
+// there — per the paper they do not participate in transformations, so they
+// never split further. Existing dummies in L (which carry no dl+1 bit) act
+// as chain boundaries. The rebuilt list, dummies in position, is returned.
+func (d *DSG) repairBalance(ctx *transformCtx, L []*skipgraph.Node, dl int) ([]*skipgraph.Node, int) {
+	a := d.cfg.A
+	if len(L) <= a {
+		return L, 0
+	}
+	bitLevel := dl + 1
+	out := make([]*skipgraph.Node, 0, len(L)+2)
+	added := 0
+	run := 0
+	var runZero bool
+	for _, x := range L {
+		if !x.HasBit(bitLevel) {
+			// An old dummy: it belongs to neither subgraph and breaks any
+			// chain through it.
+			out = append(out, x)
+			run = 0
+			continue
+		}
+		zero := x.Bit(bitLevel) == 0
+		if run > 0 && zero == runZero {
+			run++
+			if run > a {
+				prev := out[len(out)-1]
+				if dm, ok := d.makeDummy(ctx, prev, x, dl, !zero); ok {
+					out = append(out, dm)
+					added++
+					run = 1
+				}
+			}
+		} else {
+			run = 1
+			runZero = zero
+		}
+		out = append(out, x)
+	}
+	if added == 0 {
+		return L, 0
+	}
+	return out, added
+}
+
+// makeDummy creates a dummy node keyed strictly between left and right,
+// sharing their membership prefix through level dl and taking the sibling
+// subgraph at level dl+1 (`zero` selects the 0-subgraph). It returns false
+// when no key slot is free, in which case the chain stays unrepaired.
+func (d *DSG) makeDummy(ctx *transformCtx, left, right *skipgraph.Node, dl int, zero bool) (*skipgraph.Node, bool) {
+	key, ok := d.freeKeyBetween(ctx, left.Key(), right.Key())
+	if !ok {
+		return nil, false
+	}
+	id := d.nextDummyID
+	d.nextDummyID++
+	dm := skipgraph.NewDummy(key, id)
+	for i := 1; i <= dl; i++ {
+		dm.SetBit(i, left.Bit(i))
+	}
+	if zero {
+		dm.SetBit(dl+1, 0)
+	} else {
+		dm.SetBit(dl+1, 1)
+	}
+	s := &nodeState{B: dl + 1}
+	s.ensure(dl + 2)
+	for i := range s.G {
+		s.G[i] = id
+	}
+	d.st[dm] = s
+	ctx.newDummies = append(ctx.newDummies, dm)
+	ctx.pendingKeys[key] = true
+	return dm, true
+}
+
+// freeKeyBetween finds an unused key strictly between a and b, preferring
+// minor slots right after a.
+func (d *DSG) freeKeyBetween(ctx *transformCtx, a, b skipgraph.Key) (skipgraph.Key, bool) {
+	for minor := a.Minor + 1; minor < math.MaxInt32; minor++ {
+		k := skipgraph.Key{Primary: a.Primary, Minor: minor}
+		if !k.Less(b) {
+			return skipgraph.Key{}, false
+		}
+		if d.g.ByKey(k) == nil && !ctx.pendingKeys[k] {
+			return k, true
+		}
+	}
+	return skipgraph.Key{}, false
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lsasg/internal/skipgraph"
+)
+
+// NewFromGraph wraps an existing skip graph in a DSG with default per-node
+// state, used by tests that reconstruct the paper's worked examples.
+func NewFromGraph(g *skipgraph.Graph, cfg Config) *DSG {
+	cfg = cfg.withDefaults()
+	d := &DSG{
+		cfg: cfg,
+		g:   g,
+		rng: rand.New(rand.NewSource(cfg.Seed + 1)),
+		st:  make(map[*skipgraph.Node]*nodeState, g.N()),
+	}
+	maxID := int64(0)
+	for _, node := range g.Nodes() {
+		if node.ID() > maxID {
+			maxID = node.ID()
+		}
+	}
+	d.nextDummyID = maxID + 1
+	if cfg.Finder != nil {
+		d.finder = cfg.Finder
+	} else {
+		d.finder = &AMFFinder{A: cfg.A, Rng: d.rng}
+	}
+	for _, node := range g.Nodes() {
+		d.st[node] = d.freshState(node)
+	}
+	return d
+}
+
+// Add joins a new node with the given id (key = id) using the standard
+// skip-graph join with random membership bits, initializes its DSG state,
+// and repairs any a-balance violation the join introduced (§IV-G).
+func (d *DSG) Add(id int64) (*skipgraph.Node, error) {
+	key := skipgraph.KeyOf(id)
+	if d.g.ByKey(key) != nil {
+		return nil, fmt.Errorf("core: node %d already present", id)
+	}
+	n := d.g.Insert(key, id, func(*skipgraph.Node, int) byte { return byte(d.rng.Intn(2)) })
+	d.st[n] = d.freshState(n)
+	d.repairStaticBalance()
+	return n, nil
+}
+
+// RemoveNode removes a node (standard skip-graph leave) and repairs any
+// a-balance violation the departure introduced (§IV-G).
+func (d *DSG) RemoveNode(id int64) error {
+	key := skipgraph.KeyOf(id)
+	n := d.g.ByKey(key)
+	if n == nil {
+		return fmt.Errorf("core: node %d not present", id)
+	}
+	d.g.Remove(key)
+	delete(d.st, n)
+	d.repairStaticBalance()
+	return nil
+}
+
+// repairStaticBalance places dummy nodes to break any over-long same-bit
+// chain found outside a transformation (after node addition/removal).
+func (d *DSG) repairStaticBalance() {
+	a := d.cfg.A
+	for _, viol := range d.g.BalanceViolations(a) {
+		start := d.g.ByKey(viol.Start)
+		if start == nil {
+			continue
+		}
+		list := d.g.ListAt(start, viol.Level)
+		// Find the run and insert a dummy after its a-th member.
+		idx := -1
+		for i, x := range list {
+			if x == start {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 || idx+a >= len(list) {
+			continue
+		}
+		left, right := list[idx+a-1], list[idx+a]
+		key, ok := d.staticFreeKey(left.Key(), right.Key())
+		if !ok {
+			continue
+		}
+		id := d.nextDummyID
+		d.nextDummyID++
+		dm := skipgraph.NewDummy(key, id)
+		for i := 1; i <= viol.Level; i++ {
+			dm.SetBit(i, left.Bit(i))
+		}
+		dm.SetBit(viol.Level+1, 1-viol.Bit)
+		s := &nodeState{B: viol.Level + 1}
+		s.ensure(viol.Level + 2)
+		for i := range s.G {
+			s.G[i] = id
+		}
+		d.st[dm] = s
+		d.g.SpliceIn(dm)
+		d.dummyCount++
+	}
+}
+
+func (d *DSG) staticFreeKey(a, b skipgraph.Key) (skipgraph.Key, bool) {
+	for minor := a.Minor + 1; minor < 1<<30; minor++ {
+		k := skipgraph.Key{Primary: a.Primary, Minor: minor}
+		if !k.Less(b) {
+			return skipgraph.Key{}, false
+		}
+		if d.g.ByKey(k) == nil {
+			return k, true
+		}
+	}
+	return skipgraph.Key{}, false
+}
+
+// checkInvariants verifies the post-transformation guarantees used by the
+// analysis: structural consistency, a direct u-v link (the self-adjusting
+// model's requirement), and group/list coherence at every level.
+func (d *DSG) checkInvariants(u, v *skipgraph.Node) error {
+	if err := d.g.Verify(); err != nil {
+		return fmt.Errorf("graph: %w", err)
+	}
+	if ok, _ := d.g.DirectlyLinked(u, v); !ok {
+		return fmt.Errorf("nodes %d and %d not directly linked", u.ID(), v.ID())
+	}
+	// The pair's size-2 list carries the request timestamp (rule T1).
+	dPrime := skipgraph.CommonPrefixLen(u, v)
+	if got := d.state(u).timestamp(dPrime); got != d.clock {
+		return fmt.Errorf("node %d timestamp at pair level %d is %d, want %d", u.ID(), dPrime, got, d.clock)
+	}
+	for _, x := range d.g.Nodes() {
+		if x.IsDummy() {
+			continue
+		}
+		sx := d.state(x)
+		// T6 invariant: no timestamps below the group-base.
+		for i := 0; i < sx.B && i < len(sx.T); i++ {
+			if sx.T[i] != 0 {
+				return fmt.Errorf("node %d has timestamp %d at level %d below base %d", x.ID(), sx.T[i], i, sx.B)
+			}
+		}
+		// State arrays never lag the membership vector.
+		if x.BitsLen() >= len(sx.G)+1 {
+			return fmt.Errorf("node %d vector depth %d exceeds group state %d", x.ID(), x.BitsLen(), len(sx.G))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+// Package core implements the paper's primary contribution: the Dynamic
+// Skip Graphs (DSG) self-adjusting algorithm (§IV). Upon a communication
+// request (u, v), DSG routes with the standard skip-graph routing and then
+// locally and partially transforms the topology so that u and v share a
+// linked list of size two, while preserving the working-set property for
+// non-communicating groups and keeping the height O(log n).
+//
+// The algorithm state per node is exactly the paper's: a membership vector,
+// a timestamp T and a group-id G per level, an is-dominating-group bit D
+// per level, and a group-base B — O(log n) words per node.
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"lsasg/internal/amf"
+)
+
+// MedianResult is what a split step needs from a median-finding run: the
+// approximate median itself, the synchronous-round cost, and the reusable
+// count/broadcast primitives backed by the balanced skip list the run built.
+type MedianResult struct {
+	Median amf.Value
+	Rounds int
+	// CountRounds is the round cost of one distributed count over the list.
+	CountRounds int
+	// BroadcastRounds is the round cost of one list-wide broadcast.
+	BroadcastRounds int
+}
+
+// MedianFinder abstracts the approximate-median subroutine so tests can
+// substitute exact or scripted medians (e.g. to replay the paper's Fig 4).
+type MedianFinder interface {
+	FindMedian(values []amf.Value) MedianResult
+}
+
+// AMFFinder runs the paper's randomized AMF algorithm (§V).
+type AMFFinder struct {
+	A   int
+	Rng *rand.Rand
+}
+
+// FindMedian implements MedianFinder.
+func (f *AMFFinder) FindMedian(values []amf.Value) MedianResult {
+	res := amf.Find(values, f.A, f.Rng)
+	// Counts of |gs|, L_low, L_high reuse the same skip list, so the
+	// per-count cost equals one distributed sum over it.
+	_, countRounds := res.Count(func(int) bool { return true })
+	return MedianResult{
+		Median:          res.Median,
+		Rounds:          res.Rounds,
+		CountRounds:     countRounds,
+		BroadcastRounds: res.BroadcastRounds(),
+	}
+}
+
+// ExactFinder returns the true median (lower median) with an idealized
+// logarithmic round cost. Used in tests to remove approximation noise.
+type ExactFinder struct{}
+
+// FindMedian implements MedianFinder.
+func (ExactFinder) FindMedian(values []amf.Value) MedianResult {
+	sorted := append([]amf.Value(nil), values...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+	m := sorted[(len(sorted)-1)/2]
+	r := logCeil(len(values)) + 1
+	return MedianResult{Median: m, Rounds: r, CountRounds: r, BroadcastRounds: r}
+}
+
+// ScriptedFinder replays a fixed sequence of medians, one per FindMedian
+// call in transformation order, for reconstructing the paper's worked
+// example (Fig 4, which "assumes" specific median values). After the script
+// is exhausted it falls back to the exact median.
+type ScriptedFinder struct {
+	Script []amf.Value
+	next   int
+}
+
+// FindMedian implements MedianFinder.
+func (f *ScriptedFinder) FindMedian(values []amf.Value) MedianResult {
+	if f.next < len(f.Script) {
+		m := f.Script[f.next]
+		f.next++
+		r := logCeil(len(values)) + 1
+		return MedianResult{Median: m, Rounds: r, CountRounds: r, BroadcastRounds: r}
+	}
+	return ExactFinder{}.FindMedian(values)
+}
+
+func logCeil(n int) int {
+	l := 0
+	for v := 1; v < n; v <<= 1 {
+		l++
+	}
+	return l
+}

@@ -1,0 +1,29 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSmokeServe drives random requests through a DSG with invariant
+// checking enabled; any structural breakage fails immediately.
+func TestSmokeServe(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 33, 64} {
+		d := New(n, Config{A: 4, Seed: 42, CheckInvariants: true})
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 200; i++ {
+			u := int64(rng.Intn(n))
+			v := int64(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			res, err := d.Serve(u, v)
+			if err != nil {
+				t.Fatalf("n=%d request %d (%d,%d): %v", n, i, u, v, err)
+			}
+			if res.DirectLevel < 0 {
+				t.Fatalf("n=%d request %d (%d,%d): no direct link", n, i, u, v)
+			}
+		}
+	}
+}

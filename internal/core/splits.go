@@ -1,0 +1,413 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"lsasg/internal/amf"
+	"lsasg/internal/skipgraph"
+)
+
+// listWork is one linked list awaiting its split during a transformation.
+type listWork struct {
+	nodes []*skipgraph.Node // key order; may include dummies (run-breakers)
+	level int               // the list's level; the split assigns bits for level+1
+}
+
+// runSplits performs the recursive, level-parallel splitting of l_alpha
+// (§IV-C): every list of size ≥ 2 computes an approximate median priority
+// and partitions into the 0- and 1-subgraphs at the next level, until all
+// involved real nodes are singleton. Lists at the same level run in
+// parallel, so a level's round cost is the maximum over its lists.
+func (d *DSG) runSplits(ctx *transformCtx) {
+	// The initial list is l_alpha in key order: the real members plus any
+	// retained level-alpha dummies, which act as chain boundaries.
+	initial := append(append([]*skipgraph.Node(nil), ctx.members...), ctx.keptDummies...)
+	sort.Slice(initial, func(i, j int) bool { return initial[i].Key().Less(initial[j].Key()) })
+	frontier := []listWork{{nodes: initial, level: ctx.alpha}}
+	for len(frontier) > 0 {
+		levelRounds := 0
+		var next []listWork
+		for _, work := range frontier {
+			zeros, ones, rounds := d.splitList(ctx, work)
+			if rounds > levelRounds {
+				levelRounds = rounds
+			}
+			for _, side := range [][]*skipgraph.Node{zeros, ones} {
+				if countReal(side) >= 2 {
+					next = append(next, listWork{nodes: side, level: work.level + 1})
+				}
+			}
+		}
+		ctx.rounds += levelRounds
+		frontier = next
+	}
+}
+
+func countReal(side []*skipgraph.Node) int {
+	c := 0
+	for _, x := range side {
+		if !x.IsDummy() {
+			c++
+		}
+	}
+	return c
+}
+
+// splitList splits one list at level work.level, assigning membership bits
+// for level work.level+1 to its real members, and returns the two child
+// lists (key order) plus the round cost. Dummies in the list do not
+// participate (§IV-F): they stay singleton above this level and only serve
+// to break chains; freshly inserted dummies join the child sibling list.
+func (d *DSG) splitList(ctx *transformCtx, work listWork) (zeros, ones []*skipgraph.Node, rounds int) {
+	L, dl := work.nodes, work.level
+	bitLevel := dl + 1
+	u, v, t := ctx.u, ctx.v, ctx.t
+
+	real := make([]*skipgraph.Node, 0, len(L))
+	for _, x := range L {
+		if !x.IsDummy() {
+			real = append(real, x)
+		}
+	}
+	if len(real) < 2 {
+		return nil, nil, 0
+	}
+
+	inZero := make(map[*skipgraph.Node]bool, len(real))
+	var mres MedianResult
+	haveMedian := false
+
+	pairOnly := len(real) == 2 && ((real[0] == u && real[1] == v) || (real[0] == v && real[1] == u))
+	switch {
+	case pairOnly && len(L) == 2:
+		// The pair reached its size-2 list (level d' of rule T1); one more
+		// split makes both singleton. The left node takes the 0-subgraph.
+		inZero[real[0]] = true
+		d.state(real[0]).setDominating(bitLevel, true)
+		rounds = 1
+	case pairOnly:
+		// Only dummies accompany the pair; both move to the 0-subgraph and
+		// the dummies (which take no further bits) stay behind, so the next
+		// level holds the pair alone.
+		inZero[real[0]] = true
+		inZero[real[1]] = true
+		rounds = 1
+	default:
+		values := make([]amf.Value, len(real))
+		for i, x := range real {
+			values[i] = ctx.pri[x]
+		}
+		mres = d.finder.FindMedian(values)
+		haveMedian = true
+		rounds += mres.Rounds
+		M := mres.Median
+		for _, x := range real {
+			if ctx.med[x] == nil {
+				ctx.med[x] = make(map[int]amf.Value)
+			}
+			ctx.med[x][dl] = M
+		}
+		if M.Inf || M.V >= 0 {
+			// Case 1: M is positive. Split by P(x) ≥ M; this divides the
+			// merged communicating group. Nodes moving to the 0-subgraph
+			// record the boundary with D = true at the formed level; the
+			// 1-subgraph's old flags survive so that nested boundaries from
+			// earlier positive splits stay readable (DESIGN.md §3, and the
+			// paper's Fig 4 walk-through requires exactly this).
+			for _, x := range real {
+				ge := ctx.pri[x].GreaterEq(M)
+				inZero[x] = ge
+				if ge {
+					d.state(x).setDominating(bitLevel, true)
+				}
+			}
+		} else {
+			rounds += d.splitNegative(ctx, real, dl, M, mres, inZero)
+		}
+	}
+
+	if allSameSide(real, inZero) && !pairOnly {
+		// Degenerate tie (e.g. an old group with identical timestamps):
+		// the paper's comparison split cannot make progress, so fall back
+		// to a positional split that keeps the communicating pair together
+		// in the 0-subgraph (DESIGN.md §3.1).
+		d.fallbackSplit(ctx, real, inZero)
+	}
+	for _, x := range real {
+		if inZero[x] {
+			x.SetBit(bitLevel, 0)
+		} else {
+			x.SetBit(bitLevel, 1)
+		}
+	}
+
+	// Linear neighbour search at the new level costs at most `a` rounds
+	// thanks to the a-balance property (§IV-C).
+	rounds += d.cfg.A
+
+	// a-balance maintenance: break runs longer than `a` with dummies
+	// placed in the sibling subgraph (§IV-F). Existing dummies already act
+	// as chain boundaries.
+	withDummies, added := d.repairBalance(ctx, L, dl)
+	if added > 0 {
+		rounds += d.cfg.A // chain detection handshake
+	}
+
+	// Child lists at bitLevel: real members by their new bit plus freshly
+	// inserted dummies (which carry a bit for bitLevel); old dummies stop
+	// at level dl.
+	for _, x := range withDummies {
+		if !x.HasBit(bitLevel) {
+			continue
+		}
+		if x.Bit(bitLevel) == 0 {
+			zeros = append(zeros, x)
+		} else {
+			ones = append(ones, x)
+		}
+	}
+
+	rounds += d.reassignGroups(ctx, real, dl, haveMedian, mres)
+	d.recomputeP4(ctx, zeros, ones, bitLevel, t)
+	return zeros, ones, rounds
+}
+
+func allSameSide(real []*skipgraph.Node, inZero map[*skipgraph.Node]bool) bool {
+	zeros := 0
+	for _, x := range real {
+		if inZero[x] {
+			zeros++
+		}
+	}
+	return zeros == 0 || zeros == len(real)
+}
+
+// splitNegative handles Case 2 of §IV-C: the approximate median is
+// negative, so a non-communicating group gs may straddle it (equation 2).
+// The |gs| thresholds decide whether gs splits along old D flags, moves
+// wholesale to the lighter side, or becomes the whole 1-subgraph.
+func (d *DSG) splitNegative(ctx *transformCtx, real []*skipgraph.Node, dl int, M amf.Value, mres MedianResult, inZero map[*skipgraph.Node]bool) (rounds int) {
+	t := ctx.t
+	var gs []*skipgraph.Node
+	var gsID int64
+	for _, x := range real {
+		p := ctx.pri[x]
+		if p.Inf || p.V >= 0 {
+			continue
+		}
+		g := d.state(x).group(dl)
+		lo := -g * t
+		if lo <= M.V && M.V < lo+t {
+			if len(gs) > 0 && g != gsID {
+				// Distinct groups occupy disjoint bands, so two straddling
+				// groups would indicate a priority-rule bug.
+				panic(fmt.Sprintf("core: two straddling groups %d and %d", gsID, g))
+			}
+			gsID = g
+			gs = append(gs, x)
+		}
+	}
+	if len(gs) == 0 {
+		for _, x := range real {
+			inZero[x] = ctx.pri[x].GreaterEq(M)
+		}
+		return 0
+	}
+	inGs := make(map[*skipgraph.Node]bool, len(gs))
+	for _, x := range gs {
+		inGs[x] = true
+	}
+	rounds += mres.CountRounds // distributed count of |gs|
+	switch {
+	case 3*len(gs) > 2*len(real):
+		// gs is too big: split it along the is-dominating-group flags,
+		// which reproduce its most recent positive-median split boundary.
+		trues := 0
+		for _, x := range gs {
+			if d.state(x).dominating(dl) {
+				trues++
+			}
+		}
+		if trues == 0 || trues == len(gs) {
+			// No recorded boundary (can happen for groups formed before
+			// any positive split); fall back to a positional halving of gs
+			// to preserve progress and the height bound.
+			for i, x := range gs {
+				inZero[x] = i < (len(gs)+1)/2
+			}
+		} else {
+			for _, x := range gs {
+				inZero[x] = !d.state(x).dominating(dl)
+			}
+		}
+		for _, x := range real {
+			if !inGs[x] {
+				inZero[x] = true
+			}
+		}
+	case 3*len(gs) < len(real):
+		// gs is small: everyone else splits around M; gs moves wholesale
+		// to the lighter side.
+		low, high := 0, 0
+		for _, x := range real {
+			if ctx.pri[x].GreaterEq(M) {
+				high++
+			} else {
+				low++
+			}
+		}
+		rounds += 2 * mres.CountRounds // distributed counts of L_low, L_high
+		for _, x := range real {
+			if !inGs[x] {
+				inZero[x] = ctx.pri[x].GreaterEq(M)
+			}
+		}
+		gsToZero := high < low
+		// Guard: if every non-gs node lies on one side, force gs to the
+		// other so both subgraphs are non-empty.
+		nonGsZero, nonGsOne := 0, 0
+		for _, x := range real {
+			if inGs[x] {
+				continue
+			}
+			if inZero[x] {
+				nonGsZero++
+			} else {
+				nonGsOne++
+			}
+		}
+		if nonGsZero == 0 {
+			gsToZero = true
+		} else if nonGsOne == 0 {
+			gsToZero = false
+		}
+		for _, x := range gs {
+			inZero[x] = gsToZero
+		}
+	default:
+		// 1/3 ≤ |gs|/|L| ≤ 2/3: gs becomes the whole 1-subgraph.
+		for _, x := range real {
+			inZero[x] = !inGs[x]
+		}
+	}
+	return rounds
+}
+
+// fallbackSplit is the deterministic tie-breaker for degenerate lists: the
+// communicating pair first, then descending priority, then key order; the
+// first half goes to the 0-subgraph.
+func (d *DSG) fallbackSplit(ctx *transformCtx, real []*skipgraph.Node, inZero map[*skipgraph.Node]bool) {
+	ordered := append([]*skipgraph.Node(nil), real...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		a, b := ordered[i], ordered[j]
+		pa, pb := ctx.pri[a], ctx.pri[b]
+		if c := pa.Cmp(pb); c != 0 {
+			return c > 0
+		}
+		return a.Key().Less(b.Key())
+	})
+	half := (len(ordered) + 1) / 2
+	for i, x := range ordered {
+		inZero[x] = i < half
+	}
+}
+
+// reassignGroups applies Algorithm 1 step 8 over the real members: the list
+// holding u and v adopts u's identifier; a group split by this step gives
+// its 1-subgraph portion the identifier of that portion's left-most member
+// (broadcast via the AMF skip list); intact groups carry their identifier
+// up a level.
+func (d *DSG) reassignGroups(ctx *transformCtx, real []*skipgraph.Node, dl int, haveMedian bool, mres MedianResult) (rounds int) {
+	u, v := ctx.u, ctx.v
+	bitLevel := dl + 1
+
+	var zeros, ones []*skipgraph.Node
+	for _, x := range real {
+		if x.Bit(bitLevel) == 0 {
+			zeros = append(zeros, x)
+		} else {
+			ones = append(ones, x)
+		}
+	}
+	zeroHasUV := containsBoth(zeros, u, v)
+
+	// Detect groups (by level-dl id) with members on both sides.
+	sideCount := make(map[int64][2]int, 4)
+	for _, x := range zeros {
+		c := sideCount[d.state(x).group(dl)]
+		c[0]++
+		sideCount[d.state(x).group(dl)] = c
+	}
+	for _, x := range ones {
+		c := sideCount[d.state(x).group(dl)]
+		c[1]++
+		sideCount[d.state(x).group(dl)] = c
+	}
+	splitGroups := make(map[int64]bool, 1)
+	for g, c := range sideCount {
+		if c[0] > 0 && c[1] > 0 {
+			splitGroups[g] = true
+		}
+	}
+
+	for _, x := range zeros {
+		if zeroHasUV {
+			d.state(x).setGroup(bitLevel, u.ID())
+		} else {
+			d.state(x).setGroup(bitLevel, d.state(x).group(dl))
+		}
+	}
+	// 1-subgraph portions of split groups take their left-most member's id.
+	newID := make(map[int64]int64, len(splitGroups))
+	for _, x := range ones {
+		g := d.state(x).group(dl)
+		if splitGroups[g] {
+			if _, ok := newID[g]; !ok {
+				newID[g] = x.ID() // first in key order = left-most
+			}
+			d.state(x).setGroup(bitLevel, newID[g])
+		} else {
+			d.state(x).setGroup(bitLevel, g)
+		}
+	}
+	if len(splitGroups) > 0 {
+		if haveMedian {
+			rounds += mres.BroadcastRounds // propagate the new group-id
+		} else {
+			rounds++
+		}
+	}
+	return rounds
+}
+
+// recomputeP4 applies priority rule P4: real members of a freshly formed
+// list that does not contain the communicating pair take the negative band
+// priority of their level-(bitLevel) group.
+func (d *DSG) recomputeP4(ctx *transformCtx, zeros, ones []*skipgraph.Node, bitLevel int, t int64) {
+	for _, side := range [][]*skipgraph.Node{zeros, ones} {
+		if containsBoth(side, ctx.u, ctx.v) {
+			continue // the pair's list keeps P1/P2 priorities
+		}
+		for _, x := range side {
+			if x.IsDummy() {
+				continue
+			}
+			sx := d.state(x)
+			ctx.pri[x] = amf.Finite(-sx.group(bitLevel)*t + sx.timestamp(bitLevel+1))
+		}
+	}
+}
+
+func containsBoth(side []*skipgraph.Node, u, v *skipgraph.Node) bool {
+	var hasU, hasV bool
+	for _, x := range side {
+		if x == u {
+			hasU = true
+		}
+		if x == v {
+			hasV = true
+		}
+	}
+	return hasU && hasV
+}

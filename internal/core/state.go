@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lsasg/internal/amf"
+	"lsasg/internal/skipgraph"
+)
+
+// nodeState is the paper's per-node DSG state (§IV-B): a timestamp, a
+// group-id and an is-dominating-group flag per level, plus the group-base.
+// Slices grow on demand; level indices match the skip graph's levels.
+type nodeState struct {
+	T []int64 // T[d]: timestamp for level d
+	G []int64 // G[d]: group-id for level d
+	D []bool  // D[d]: is-dominating-group for level d
+	B int     // group-base (Appendix C)
+}
+
+func (s *nodeState) ensure(level int) {
+	for len(s.T) <= level {
+		s.T = append(s.T, 0)
+	}
+	for len(s.G) <= level {
+		s.G = append(s.G, -1)
+	}
+	for len(s.D) <= level {
+		s.D = append(s.D, false)
+	}
+}
+
+func (s *nodeState) timestamp(d int) int64 {
+	if d < 0 || d >= len(s.T) {
+		return 0
+	}
+	return s.T[d]
+}
+
+func (s *nodeState) setTimestamp(d int, v int64) {
+	if d < 0 {
+		return
+	}
+	s.ensure(d)
+	s.T[d] = v
+}
+
+func (s *nodeState) group(d int) int64 {
+	if d < 0 {
+		return -1
+	}
+	if d >= len(s.G) {
+		if len(s.G) == 0 {
+			return -1
+		}
+		// Above the assigned range a node is alone; its group defaults to
+		// the highest assigned one.
+		return s.G[len(s.G)-1]
+	}
+	return s.G[d]
+}
+
+func (s *nodeState) setGroup(d int, g int64) {
+	s.ensure(d)
+	s.G[d] = g
+}
+
+func (s *nodeState) dominating(d int) bool {
+	if d < 0 || d >= len(s.D) {
+		return false
+	}
+	return s.D[d]
+}
+
+func (s *nodeState) setDominating(d int, v bool) {
+	s.ensure(d)
+	s.D[d] = v
+}
+
+// Config parameterizes a DSG instance.
+type Config struct {
+	// A is the a-balance parameter (§III); it must be ≥ 2. Defaults to 4.
+	A int
+	// Seed drives all randomness (AMF skip lists).
+	Seed int64
+	// Finder overrides the median-finding subroutine; nil selects the
+	// paper's AMF with parameter A.
+	Finder MedianFinder
+	// CheckInvariants, when true, verifies the full set of structural
+	// invariants after every transformation (slow; for tests).
+	CheckInvariants bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.A == 0 {
+		c.A = 4
+	}
+	if c.A < 2 {
+		panic(fmt.Sprintf("core: balance parameter must be >= 2, got %d", c.A))
+	}
+	return c
+}
+
+// DSG is a self-adjusting skip graph: the topology plus the per-node DSG
+// state and the logical clock. All methods are single-threaded, matching
+// the paper's sequential request model.
+type DSG struct {
+	cfg    Config
+	g      *skipgraph.Graph
+	rng    *rand.Rand
+	finder MedianFinder
+	st     map[*skipgraph.Node]*nodeState
+	clock  int64
+
+	nextDummyID int64
+	dummyCount  int
+}
+
+// New creates a DSG over n nodes with keys and identifiers 0..n-1. The
+// initial topology is a random skip graph; initial timestamps are zero,
+// each node is its own group at every level, and each group-base is the
+// node's singleton level, per §IV-B and Appendix C.
+func New(n int, cfg Config) *DSG {
+	cfg = cfg.withDefaults()
+	d := &DSG{
+		cfg:         cfg,
+		g:           skipgraph.NewRandom(n, cfg.Seed),
+		rng:         rand.New(rand.NewSource(cfg.Seed + 1)),
+		st:          make(map[*skipgraph.Node]*nodeState, n),
+		nextDummyID: int64(n),
+	}
+	if cfg.Finder != nil {
+		d.finder = cfg.Finder
+	} else {
+		d.finder = &AMFFinder{A: cfg.A, Rng: d.rng}
+	}
+	for _, node := range d.g.Nodes() {
+		d.st[node] = d.freshState(node)
+	}
+	return d
+}
+
+// freshState initializes a node's DSG state with default values.
+func (d *DSG) freshState(node *skipgraph.Node) *nodeState {
+	s := &nodeState{B: d.g.SingletonLevel(node)}
+	top := node.BitsLen() + 1
+	s.ensure(top)
+	for i := range s.G {
+		s.G[i] = node.ID()
+	}
+	return s
+}
+
+// Graph exposes the underlying skip graph (read-only use expected).
+func (d *DSG) Graph() *skipgraph.Graph { return d.g }
+
+// Clock returns the logical time (number of served requests).
+func (d *DSG) Clock() int64 { return d.clock }
+
+// A returns the balance parameter.
+func (d *DSG) A() int { return d.cfg.A }
+
+// DummyCount returns the number of dummy nodes currently in the graph.
+func (d *DSG) DummyCount() int { return d.dummyCount }
+
+// NodeByID returns the real node with identifier id (id == key primary).
+func (d *DSG) NodeByID(id int64) *skipgraph.Node {
+	return d.g.ByKey(skipgraph.KeyOf(id))
+}
+
+// state returns the DSG state of a node, creating it if missing (dummies).
+func (d *DSG) state(n *skipgraph.Node) *nodeState {
+	s, ok := d.st[n]
+	if !ok {
+		s = d.freshState(n)
+		d.st[n] = s
+	}
+	return s
+}
+
+// Timestamp returns T^x_d for a node (0 when unset), for tests and tools.
+func (d *DSG) Timestamp(n *skipgraph.Node, level int) int64 {
+	return d.state(n).timestamp(level)
+}
+
+// Group returns G^x_d for a node.
+func (d *DSG) Group(n *skipgraph.Node, level int) int64 {
+	return d.state(n).group(level)
+}
+
+// GroupBase returns B_x for a node.
+func (d *DSG) GroupBase(n *skipgraph.Node) int { return d.state(n).B }
+
+// SetStateForTest force-sets a node's full DSG state; used by tests that
+// reconstruct the paper's worked examples mid-history.
+func (d *DSG) SetStateForTest(n *skipgraph.Node, ts []int64, groups []int64, dominating []bool, base int) {
+	s := d.state(n)
+	s.T = append([]int64(nil), ts...)
+	s.G = append([]int64(nil), groups...)
+	if dominating != nil {
+		s.D = append([]bool(nil), dominating...)
+	}
+	s.B = base
+}
+
+// SetClockForTest force-sets the logical clock.
+func (d *DSG) SetClockForTest(t int64) { d.clock = t }
+
+// priorityOf is a typed alias to keep rule code readable.
+type priority = amf.Value

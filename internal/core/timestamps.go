@@ -1,0 +1,399 @@
+package core
+
+import (
+	"sort"
+
+	"lsasg/internal/skipgraph"
+)
+
+// computeOldGroupSplits finds, for every member, the old levels d ≥ alpha
+// at which its pre-transformation group (nodes sharing the old group-id and
+// the old level-d list) no longer shares a level-d list afterwards. These
+// are the split events rules T5 and the group-base rules (Appendix C)
+// refer to ("a group g at level d in S_t splits ... in S_{t+1}").
+func (d *DSG) computeOldGroupSplits(ctx *transformCtx) {
+	type groupKey struct {
+		level  int
+		prefix string
+		gid    int64
+	}
+	groups := make(map[groupKey][]*skipgraph.Node)
+	for _, x := range ctx.members {
+		bits := ctx.oldBits[x]
+		oldG := ctx.oldG[x]
+		for lvl := ctx.alpha; lvl <= len(bits); lvl++ {
+			gid := int64(-1)
+			if lvl < len(oldG) {
+				gid = oldG[lvl]
+			}
+			k := groupKey{level: lvl, prefix: bits[:minInt(lvl, len(bits))], gid: gid}
+			groups[k] = append(groups[k], x)
+		}
+	}
+	for k, members := range groups {
+		if len(members) < 2 {
+			continue
+		}
+		// The group split at level k.level iff its members no longer share
+		// a level-k.level list (new membership prefixes diverge).
+		split := false
+		first := members[0]
+		for _, y := range members[1:] {
+			if !sharePrefix(first, y, k.level) {
+				split = true
+				break
+			}
+		}
+		if split {
+			for _, x := range members {
+				ctx.splitEvents[x] = append(ctx.splitEvents[x], k.level)
+			}
+		}
+	}
+	// Deterministic rule application: the map iteration above enumerates
+	// groups in arbitrary order, but the base/T5 rules are order-sensitive.
+	for x, splits := range ctx.splitEvents {
+		sort.Ints(splits)
+		ctx.splitEvents[x] = splits
+	}
+}
+
+func sharePrefix(a, b *skipgraph.Node, level int) bool {
+	return skipgraph.CommonPrefixLen(a, b) >= level
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// applyGroupBaseRules updates group-bases after the structural
+// transformation (Appendix C): a node whose group split at its base level
+// drops its base by one; a node based at alpha whose lowest split happened
+// well above alpha rebases just below that split. (Merge-driven base
+// updates were already applied in mergeGroups.)
+func (d *DSG) applyGroupBaseRules(ctx *transformCtx) {
+	d.computeOldGroupSplits(ctx)
+	for _, x := range ctx.members {
+		splits := ctx.splitEvents[x]
+		if len(splits) == 0 {
+			continue
+		}
+		sx := d.state(x)
+		lowest := splits[0]
+		for _, dl := range splits {
+			if dl < lowest {
+				lowest = dl
+			}
+			if sx.B == dl {
+				sx.B = dl - 1
+			}
+		}
+		if sx.B == ctx.alpha && lowest > ctx.alpha+1 {
+			sx.B = lowest - 1
+		}
+		if sx.B < 0 {
+			sx.B = 0
+		}
+	}
+	// The communicating pair rebases to the lower of the two old bases
+	// (their groups below alpha are now shared, Appendix C), clamped by
+	// d': for a first-time pair the merged group {u, v} tops out at the
+	// direct-link level, which is then the highest level of its biggest
+	// group.
+	minB := ctx.oldBu
+	if ctx.oldBv < minB {
+		minB = ctx.oldBv
+	}
+	if dPrime := skipgraph.CommonPrefixLen(ctx.u, ctx.v); dPrime < minB {
+		minB = dPrime
+	}
+	d.state(ctx.u).B = minB
+	d.state(ctx.v).B = minB
+}
+
+// applyTimestampRules executes the timestamp update of §IV-E. The order is
+// the paper's T1–T6 with one documented clarification (DESIGN.md §3): a
+// "group transport" pass implements the repositioning of unchanged groups
+// that Fig 4(c) displays but that rules T2/T3 alone leave under-specified.
+func (d *DSG) applyTimestampRules(ctx *transformCtx) {
+	d.transportGroupTimes(ctx)
+	d.ruleT1(ctx)
+	d.ruleT2(ctx)
+	d.ruleT3(ctx)
+	d.ruleT4(ctx)
+	d.ruleT5(ctx)
+	d.ruleT6(ctx)
+}
+
+// transportGroupTimes moves each surviving group's timestamp to the level
+// the group now occupies. For every new list S at a level d > alpha that
+// does not contain the communicating pair, the members' common ancestor in
+// the old topology sat at level e = their longest common old membership
+// prefix; each member's old level-e timestamp becomes its level-d
+// timestamp. Singletons carry the timestamp of their old singleton level.
+// This reproduces Fig 4(c) exactly: the displaced group {B,G,D} keeps its
+// merge time 4 one level up, {B,G} keeps 6, intact subtrees keep their old
+// values verbatim.
+func (d *DSG) transportGroupTimes(ctx *transformCtx) {
+	u, v := ctx.u, ctx.v
+	// Group the members by their new prefixes, level by level.
+	byPrefix := make(map[string][]*skipgraph.Node)
+	maxDepth := 0
+	for _, x := range ctx.members {
+		if depth := x.BitsLen(); depth > maxDepth {
+			maxDepth = depth
+		}
+	}
+	for lvl := ctx.alpha + 1; lvl <= maxDepth; lvl++ {
+		for k := range byPrefix {
+			delete(byPrefix, k)
+		}
+		for _, x := range ctx.members {
+			if x.BitsLen() >= lvl {
+				byPrefix[newPrefix(x, lvl)] = append(byPrefix[newPrefix(x, lvl)], x)
+			}
+		}
+		for _, list := range byPrefix {
+			if containsEither(list, u, v) {
+				continue // the pair's lists are stamped by T1/T2
+			}
+			// e = the set's deepest common old list: the common prefix of a
+			// string set is min over LCPs against any one member.
+			e := len(ctx.oldBits[list[0]])
+			for _, y := range list[1:] {
+				if c := commonPrefixStrings(ctx.oldBits[list[0]], ctx.oldBits[y]); c < e {
+					e = c
+				}
+			}
+			for _, x := range list {
+				d.state(x).setTimestamp(lvl, at64(ctx.oldT[x], e))
+			}
+		}
+	}
+}
+
+func newPrefix(x *skipgraph.Node, lvl int) string {
+	buf := make([]byte, lvl)
+	for i := 1; i <= lvl; i++ {
+		buf[i-1] = '0' + x.Bit(i)
+	}
+	return string(buf)
+}
+
+func containsEither(list []*skipgraph.Node, u, v *skipgraph.Node) bool {
+	for _, x := range list {
+		if x == u || x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// ruleT1 stamps the communicating pair: time t at the size-2 list level d'
+// and the singleton level above it; below, each level takes the split
+// median that formed it (the merge time of that level's group), falling
+// back to the pairwise max of the old timestamps.
+func (d *DSG) ruleT1(ctx *transformCtx) {
+	u, v, t := ctx.u, ctx.v, ctx.t
+	su, sv := d.state(u), d.state(v)
+	dPrime := skipgraph.CommonPrefixLen(u, v)
+	su.setTimestamp(dPrime, t)
+	su.setTimestamp(dPrime+1, t)
+	sv.setTimestamp(dPrime, t)
+	sv.setTimestamp(dPrime+1, t)
+	minB := ctx.oldBu
+	if ctx.oldBv < minB {
+		minB = ctx.oldBv
+	}
+	if minB < 0 {
+		minB = 0
+	}
+	oldU, oldV := ctx.oldT[u], ctx.oldT[v]
+	for i := dPrime - 1; i >= minB; i-- {
+		val := max64(at64(oldU, i), at64(oldV, i))
+		if i > ctx.alpha {
+			// The level-i list around the pair was formed by the split of
+			// the level-(i-1) list; its median is the group's merge time
+			// (matches the paper's Fig 4 walk-through).
+			if m, ok := ctx.med[u][i-1]; ok && !m.Inf && m.V > 0 {
+				val = m.V
+			}
+		}
+		su.setTimestamp(i, val)
+		sv.setTimestamp(i, val)
+	}
+}
+
+// ruleT2 stamps every other node that remains in the pair's group: at each
+// level d+1 where the node still holds u's group-id, its timestamp becomes
+// its lowest old timestamp exceeding the median it received at level d, or
+// that median itself. With the scripted medians of the paper's example this
+// yields node E's S9 column exactly (T[1]=2, T[2]=5).
+func (d *DSG) ruleT2(ctx *transformCtx) {
+	u, v := ctx.u, ctx.v
+	uID := u.ID()
+	for _, x := range ctx.members {
+		if x == u || x == v || x.IsDummy() {
+			continue
+		}
+		sx := d.state(x)
+		cPrime := d.newAssociationDepth(ctx, x)
+		oldT := ctx.oldT[x]
+		for dl := ctx.alpha; dl <= x.BitsLen(); dl++ {
+			if sx.group(dl+1) != uID {
+				break
+			}
+			m, ok := ctx.med[x][dl]
+			if !ok || m.Inf {
+				continue
+			}
+			set := false
+			for c := ctx.alpha; c < cPrime; c++ {
+				if tc := at64(oldT, c); tc > m.V {
+					sx.setTimestamp(dl+1, tc)
+					set = true
+					break
+				}
+			}
+			if !set {
+				sx.setTimestamp(dl+1, m.V)
+			}
+		}
+	}
+}
+
+// newAssociationDepth returns c': the highest level at which x shares a
+// list with the nearest communicating node after the transformation (the
+// reading of the paper's "longest common postfix" under which its Fig 4
+// values c'(E)=2, c'(G)=1 come out; DESIGN.md §3).
+func (d *DSG) newAssociationDepth(ctx *transformCtx, x *skipgraph.Node) int {
+	cu := skipgraph.CommonPrefixLen(x, ctx.u)
+	cv := skipgraph.CommonPrefixLen(x, ctx.v)
+	if cu >= cv {
+		return cu
+	}
+	return cv
+}
+
+// nearestCommunicating returns whichever of u, v was closer to x in the
+// old topology (longer old common prefix).
+func (d *DSG) nearestCommunicating(ctx *transformCtx, x *skipgraph.Node) *skipgraph.Node {
+	cu := commonPrefixStrings(ctx.oldBits[x], ctx.oldBits[ctx.u])
+	cv := commonPrefixStrings(ctx.oldBits[x], ctx.oldBits[ctx.v])
+	if cu >= cv {
+		return ctx.u
+	}
+	return ctx.v
+}
+
+// ruleT3 handles members of the pair's old groups whose association depth
+// shrank: the timestamps across the vacated levels collapse to the old
+// value at the deep end.
+func (d *DSG) ruleT3(ctx *transformCtx) {
+	u, v, alpha := ctx.u, ctx.v, ctx.alpha
+	for _, x := range ctx.members {
+		if x == u || x == v || x.IsDummy() {
+			continue
+		}
+		oldGx := groupAtOld(ctx, x, alpha)
+		if oldGx != groupAtOld(ctx, u, alpha) && oldGx != groupAtOld(ctx, v, alpha) {
+			continue
+		}
+		w := d.nearestCommunicating(ctx, x)
+		cPrime := commonPrefixStrings(ctx.oldBits[x], ctx.oldBits[w])
+		cDouble := skipgraph.CommonPrefixLen(x, w)
+		if cPrime-1 <= cDouble+1 {
+			continue
+		}
+		sx := d.state(x)
+		val := at64(ctx.oldT[x], cPrime)
+		for i := cPrime - 1; i >= cDouble+1; i-- {
+			sx.setTimestamp(i, val)
+		}
+	}
+}
+
+// ruleT4 fills timestamp gaps for nodes that initialized or received
+// Glower: zero levels between the group-base and the lowest non-zero
+// timestamp adopt that timestamp (DESIGN.md §3 reading).
+func (d *DSG) ruleT4(ctx *transformCtx) {
+	for x := range ctx.glower {
+		if x.IsDummy() {
+			continue
+		}
+		sx := d.state(x)
+		lowNZ := -1
+		for i := 0; i < len(sx.T); i++ {
+			if sx.T[i] != 0 {
+				lowNZ = i
+				break
+			}
+		}
+		if lowNZ <= sx.B {
+			continue
+		}
+		for i := sx.B; i < lowNZ; i++ {
+			sx.setTimestamp(i, sx.T[lowNZ])
+		}
+	}
+}
+
+// ruleT5 backfills the level below a split: a member of an old group that
+// split at level dl whose level-(dl-1) timestamp is still zero copies the
+// level-dl timestamp down.
+func (d *DSG) ruleT5(ctx *transformCtx) {
+	for x, splits := range ctx.splitEvents {
+		if x.IsDummy() {
+			continue
+		}
+		sx := d.state(x)
+		for _, dl := range splits {
+			if dl >= 1 && sx.timestamp(dl-1) == 0 && sx.timestamp(dl) != 0 {
+				sx.setTimestamp(dl-1, sx.timestamp(dl))
+			}
+		}
+	}
+}
+
+// ruleT6 zeroes every timestamp below the group-base.
+func (d *DSG) ruleT6(ctx *transformCtx) {
+	for _, x := range ctx.members {
+		if x.IsDummy() {
+			continue
+		}
+		sx := d.state(x)
+		for i := 0; i < sx.B && i < len(sx.T); i++ {
+			sx.T[i] = 0
+		}
+	}
+}
+
+func commonPrefixStrings(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+func at64(xs []int64, i int) int64 {
+	if i < 0 || i >= len(xs) {
+		return 0
+	}
+	return xs[i]
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

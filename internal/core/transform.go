@@ -1,0 +1,336 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"lsasg/internal/amf"
+	"lsasg/internal/skipgraph"
+)
+
+// RequestResult summarizes one served communication request.
+type RequestResult struct {
+	Time  int64 // logical time t of the request
+	Alpha int   // highest common level of u and v before transformation
+
+	RouteDistance int // d_S(σ): intermediate nodes on the routing path
+	RouteHops     int // link traversals (RouteDistance + 1)
+
+	TransformRounds int // ρ: synchronous rounds spent transforming
+	DirectLevel     int // level of the new size-2 list holding u and v
+
+	DummiesInserted  int
+	DummiesDestroyed int
+	HeightAfter      int
+}
+
+// ServiceCost returns the paper's cost of serving the request:
+// d_St(σ) + ρ + 1 (§III).
+func (r RequestResult) ServiceCost() int {
+	return r.RouteDistance + r.TransformRounds + 1
+}
+
+// Serve handles one communication request between the real nodes with the
+// given identifiers: it routes u → v in the current topology, then runs the
+// DSG transformation (§IV-C through §IV-F).
+func (d *DSG) Serve(uid, vid int64) (RequestResult, error) {
+	u, v := d.NodeByID(uid), d.NodeByID(vid)
+	if u == nil || v == nil {
+		return RequestResult{}, fmt.Errorf("core: unknown node id %d or %d", uid, vid)
+	}
+	if u == v {
+		return RequestResult{}, fmt.Errorf("core: self-communication for id %d", uid)
+	}
+	route, err := d.g.Route(u, v)
+	if err != nil {
+		return RequestResult{}, fmt.Errorf("core: routing failed: %w", err)
+	}
+	d.clock++
+	res := d.transform(u, v, d.clock)
+	res.RouteDistance = route.Distance()
+	res.RouteHops = route.Hops()
+	if d.cfg.CheckInvariants {
+		if err := d.checkInvariants(u, v); err != nil {
+			return res, fmt.Errorf("core: invariant violated after request %d: %w", d.clock, err)
+		}
+	}
+	return res, nil
+}
+
+// transformCtx carries the bookkeeping one transformation needs across its
+// phases; everything here is per-request scratch state.
+type transformCtx struct {
+	u, v  *skipgraph.Node
+	t     int64
+	alpha int
+
+	members []*skipgraph.Node // real members of l_alpha, key order
+
+	oldT    map[*skipgraph.Node][]int64
+	oldG    map[*skipgraph.Node][]int64
+	oldBits map[*skipgraph.Node]string // old membership vectors
+	oldBu   int
+	oldBv   int
+
+	pri         map[*skipgraph.Node]priority
+	med         map[*skipgraph.Node]map[int]amf.Value // median received per list level
+	splitEvents map[*skipgraph.Node][]int             // list levels where x's group split
+	glower      map[*skipgraph.Node]bool              // nodes that initialized/received Glower
+
+	newDummies  []*skipgraph.Node
+	keptDummies []*skipgraph.Node      // level-alpha dummies that survive (chain breakers below)
+	pendingKeys map[skipgraph.Key]bool // keys reserved for dummies this request
+	rounds      int
+}
+
+// transform runs the full DSG topology transformation for request (u, v)
+// at time t and returns the result fields it is responsible for.
+func (d *DSG) transform(u, v *skipgraph.Node, t int64) RequestResult {
+	ctx := &transformCtx{
+		u: u, v: v, t: t,
+		alpha:       skipgraph.CommonPrefixLen(u, v),
+		oldT:        make(map[*skipgraph.Node][]int64),
+		oldG:        make(map[*skipgraph.Node][]int64),
+		oldBits:     make(map[*skipgraph.Node]string),
+		pri:         make(map[*skipgraph.Node]priority),
+		med:         make(map[*skipgraph.Node]map[int]amf.Value),
+		splitEvents: make(map[*skipgraph.Node][]int),
+		glower:      make(map[*skipgraph.Node]bool),
+		pendingKeys: make(map[skipgraph.Key]bool),
+	}
+	res := RequestResult{Time: t, Alpha: ctx.alpha}
+
+	// Dummy nodes destroy themselves upon receiving the transformation
+	// notification (§IV-F): they link their neighbours and vanish. One
+	// refinement over the paper's wording: a dummy placed exactly at level
+	// alpha breaks a chain at level alpha-1, which this transformation
+	// will not rebuild — destroying it would leak an a-balance violation
+	// below the transformed region, so it stays (it still participates in
+	// l_alpha's split as a chain boundary).
+	for _, x := range d.g.ListAt(u, ctx.alpha) {
+		if x.IsDummy() && x.BitsLen() > ctx.alpha {
+			d.g.Remove(x.Key())
+			delete(d.st, x)
+			d.dummyCount--
+			res.DummiesDestroyed++
+		} else if !x.IsDummy() {
+			ctx.members = append(ctx.members, x)
+		} else {
+			ctx.keptDummies = append(ctx.keptDummies, x)
+		}
+	}
+	ctx.rounds++ // parallel dummy self-destruction
+
+	// Snapshot the old state the timestamp rules refer to ("in S_t").
+	for _, x := range ctx.members {
+		s := d.state(x)
+		ctx.oldT[x] = append([]int64(nil), s.T...)
+		ctx.oldG[x] = append([]int64(nil), s.G...)
+		ctx.oldBits[x] = x.MembershipVector()
+	}
+	ctx.oldBu, ctx.oldBv = d.state(u).B, d.state(v).B
+
+	// Notification broadcast: u and v flood l_alpha with their O(H_t) words
+	// of state through the sub-skip-graph; pipelined under CONGEST.
+	height := d.g.Height()
+	ctx.rounds += d.cfg.A*(height-ctx.alpha) + 2*height
+
+	d.computePriorities(ctx)
+	d.mergeGroups(ctx)
+
+	// Reassign the membership vector of every member above alpha.
+	for _, x := range ctx.members {
+		x.TruncateBits(ctx.alpha)
+	}
+	d.runSplits(ctx)
+
+	// The splits rewrote every member's membership vector and per-level
+	// state up to its new singleton level; drop stale entries beyond it.
+	for _, x := range ctx.members {
+		s := d.state(x)
+		depth := x.BitsLen()
+		if len(s.T) > depth+2 {
+			s.T = s.T[:depth+2]
+		}
+		if len(s.G) > depth+1 {
+			s.G = s.G[:depth+1]
+		}
+		if len(s.D) > depth+1 {
+			s.D = s.D[:depth+1]
+		}
+		if s.B > depth {
+			s.B = depth
+		}
+	}
+
+	// Install dummies created during balance repair, then rebuild the links
+	// of the transformed sub-skip-graph.
+	for _, dm := range ctx.newDummies {
+		d.g.SpliceIn(dm)
+		d.dummyCount++
+		res.DummiesInserted++
+	}
+	all := append(append([]*skipgraph.Node(nil), ctx.members...), ctx.newDummies...)
+	all = append(all, ctx.keptDummies...)
+	sort.Slice(all, func(i, j int) bool { return all[i].Key().Less(all[j].Key()) })
+	d.g.Relink(all, ctx.alpha, nil)
+
+	d.applyGroupBaseRules(ctx)
+	d.applyTimestampRules(ctx)
+	for _, dm := range ctx.newDummies {
+		d.st[dm].B = d.g.SingletonLevel(dm)
+	}
+
+	res.TransformRounds = ctx.rounds
+	res.HeightAfter = d.g.Height()
+	if ok, lvl := d.g.DirectlyLinked(u, v); ok {
+		res.DirectLevel = lvl
+	} else {
+		res.DirectLevel = -1
+	}
+	return res
+}
+
+// computePriorities applies priority rules P1–P3 (§IV-C) over l_alpha.
+func (d *DSG) computePriorities(ctx *transformCtx) {
+	u, v, t, alpha := ctx.u, ctx.v, ctx.t, ctx.alpha
+	su, sv := d.state(u), d.state(v)
+	gu, gv := su.group(alpha), sv.group(alpha)
+	for _, x := range ctx.members {
+		sx := d.state(x)
+		switch {
+		case x == u || x == v:
+			// P1: the communicating pair takes priority +∞.
+			ctx.pri[x] = amf.Infinite()
+		case sx.group(alpha) == gu:
+			// P2 w.r.t. u: min of the pair's timestamps at the highest
+			// level where x still shares u's group.
+			c := highestCommonGroupLevel(sx, su, alpha)
+			ctx.pri[x] = amf.Finite(min64(sx.timestamp(c), su.timestamp(c)))
+		case sx.group(alpha) == gv:
+			// P2 w.r.t. v.
+			c := highestCommonGroupLevel(sx, sv, alpha)
+			ctx.pri[x] = amf.Finite(min64(sx.timestamp(c), sv.timestamp(c)))
+		default:
+			// P3: a non-communicating group occupies the distinct negative
+			// band [-G·t, -G·t + t).
+			ctx.pri[x] = amf.Finite(-sx.group(alpha)*t + sx.timestamp(alpha+1))
+		}
+	}
+}
+
+// highestCommonGroupLevel returns the highest level c ≥ alpha at which the
+// two states hold the same group-id.
+func highestCommonGroupLevel(a, b *nodeState, alpha int) int {
+	c := alpha
+	for lvl := alpha; lvl < len(a.G) && lvl < len(b.G); lvl++ {
+		if a.G[lvl] == b.G[lvl] {
+			c = lvl
+		} else {
+			break
+		}
+	}
+	return c
+}
+
+// mergeGroups merges u's and v's groups at level alpha (everyone adopts
+// u's identifier as group-id) and runs the Appendix C lower-level group-id
+// and group-base propagation when the pair's lower groups differ.
+func (d *DSG) mergeGroups(ctx *transformCtx) {
+	u, v, alpha := ctx.u, ctx.v, ctx.alpha
+	su, sv := d.state(u), d.state(v)
+	gu, gv := su.group(alpha), sv.group(alpha)
+	minB := ctx.oldBu
+	if ctx.oldBv < minB {
+		minB = ctx.oldBv
+	}
+	merged := make([]*skipgraph.Node, 0, len(ctx.members))
+	for _, x := range ctx.members {
+		sx := d.state(x)
+		if sx.group(alpha) == gu || sx.group(alpha) == gv {
+			sx.setGroup(alpha, u.ID())
+			// Every member of the merged group shares the pair's lower
+			// group-base (Appendix C's Glower propagation; see DESIGN.md
+			// §3 — Fig 4 requires this for node E's level-1 timestamp).
+			if minB < sx.B {
+				sx.B = minB
+			}
+			merged = append(merged, x)
+		}
+	}
+	if alpha == 0 || ctx.oldG[u][alpha-1] == groupAtOld(ctx, v, alpha-1) {
+		// Lower groups already coincide (or there is nothing below alpha).
+		for _, x := range merged {
+			ctx.glower[x] = true
+		}
+		return
+	}
+	// Appendix C: pick Glower from the node with the smaller group-base,
+	// broadcast it through l_max(Bu,Bv), and stamp it below alpha.
+	bu, bv := ctx.oldBu, ctx.oldBv
+	source := u
+	if bv < bu {
+		source = v
+	}
+	glower := make([]int64, alpha)
+	srcOld := ctx.oldG[source]
+	for i := 0; i < alpha; i++ {
+		if i < len(srcOld) {
+			glower[i] = srcOld[i]
+		} else {
+			glower[i] = source.ID()
+		}
+	}
+	maxB, minB := bu, bv
+	if maxB < minB {
+		maxB, minB = minB, maxB
+	}
+	// Recipients: nodes of the level-max(Bu,Bv) list containing u and v
+	// whose group there matches u's or v's old group.
+	if maxB <= alpha {
+		guB := groupAtOld(ctx, u, maxB)
+		gvB := groupAtOld(ctx, v, maxB)
+		for _, y := range d.g.ListAt(u, maxB) {
+			if y.IsDummy() {
+				continue
+			}
+			sy := d.state(y)
+			if sy.group(maxB) == guB || sy.group(maxB) == gvB {
+				sy.B = minB
+				for i := 0; i < alpha; i++ {
+					sy.setGroup(i, glower[i])
+				}
+				ctx.glower[y] = true
+			}
+		}
+		ctx.rounds += d.cfg.A * (d.g.Height() - maxB) // broadcast in the sub-skip-graph
+	}
+	for _, x := range merged {
+		sx := d.state(x)
+		for i := 0; i < alpha; i++ {
+			sx.setGroup(i, glower[i])
+		}
+		ctx.glower[x] = true
+	}
+}
+
+// groupAtOld reads a node's pre-transformation group-id at a level, falling
+// back to the live state when the node was outside l_alpha (not snapshot).
+func groupAtOld(ctx *transformCtx, n *skipgraph.Node, level int) int64 {
+	if old, ok := ctx.oldG[n]; ok {
+		if level < len(old) {
+			return old[level]
+		}
+		if len(old) > 0 {
+			return old[len(old)-1]
+		}
+	}
+	return -1
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunQuick executes every experiment at Quick scale and
+// sanity-checks that each produces a non-empty table. This doubles as the
+// regression harness for the experiment code itself.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	sc := Quick()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			table := e.Run(sc)
+			out := table.String()
+			if !strings.Contains(out, e.ID+" ") {
+				t.Errorf("%s: table title %q lacks the experiment id", e.ID, table.Title)
+			}
+			if len(strings.Split(strings.TrimSpace(out), "\n")) < 4 {
+				t.Errorf("%s: table has no data rows:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+// TestLemmaTablesReportOK asserts that the bound-checking experiments
+// (E1, E3, E4) report ok=true in every row at Quick scale.
+func TestLemmaTablesReportOK(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	sc := Quick()
+	for _, e := range []struct {
+		id  string
+		run func(Scale) string
+	}{
+		{"E1", func(s Scale) string { return E1AMFQuality(s).String() }},
+		{"E3", func(s Scale) string { return E3DirectLevel(s).String() }},
+		{"E4", func(s Scale) string { return E4Height(s).String() }},
+	} {
+		out := e.run(sc)
+		if strings.Contains(out, "false") {
+			t.Errorf("%s reported a bound violation:\n%s", e.id, out)
+		}
+	}
+}

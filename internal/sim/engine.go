@@ -1,0 +1,130 @@
+// Package sim is a synchronous round-based message-passing simulator for
+// the CONGEST model the paper assumes (§III): computation proceeds in
+// rounds; per round a node may send at most one message over each link,
+// and every message is limited to O(log n) bits. The package hosts
+// genuinely distributed executions of the building blocks (skip-graph
+// routing, the skip-list gather/sum behind AMF) whose measured round
+// counts validate the analytical round accounting used by the sequential
+// DSG implementation (experiment E12 in EXPERIMENTS.md).
+package sim
+
+import "fmt"
+
+// NodeID identifies a simulated process.
+type NodeID int
+
+// Message is one O(log n)-bit datagram: a small fixed number of words.
+type Message struct {
+	From NodeID
+	To   NodeID
+	Kind string
+	Ints []int64
+}
+
+// Process is a node-local protocol: each round it consumes its inbox and
+// emits an outbox. A process signals completion via Done.
+type Process interface {
+	// Step runs one synchronous round. The inbox holds every message
+	// delivered this round; the returned messages are delivered next round.
+	Step(round int, inbox []Message) []Message
+	// Done reports local termination (quiescence).
+	Done() bool
+}
+
+// Engine drives a set of processes in synchronous rounds and enforces the
+// CONGEST constraints.
+type Engine struct {
+	// MaxWords bounds the payload words per message (CONGEST: O(log n)
+	// bits ≈ a constant number of machine words). Default 8.
+	MaxWords int
+
+	procs   map[NodeID]Process
+	inboxes map[NodeID][]Message
+
+	// Rounds is the number of rounds executed by the last Run.
+	Rounds int
+	// Messages counts all delivered messages in the last Run.
+	Messages int
+	// MaxLinkLoad is the maximum number of messages sent over a single
+	// directed link in a single round (must be 1 in a valid execution).
+	MaxLinkLoad int
+}
+
+// NewEngine creates an empty engine.
+func NewEngine() *Engine {
+	return &Engine{
+		MaxWords: 8,
+		procs:    make(map[NodeID]Process),
+		inboxes:  make(map[NodeID][]Message),
+	}
+}
+
+// Add registers a process.
+func (e *Engine) Add(id NodeID, p Process) {
+	if _, dup := e.procs[id]; dup {
+		panic(fmt.Sprintf("sim: duplicate process %d", id))
+	}
+	e.procs[id] = p
+}
+
+// Run executes rounds until every process is Done or maxRounds elapses.
+// It returns the number of rounds executed and an error on CONGEST
+// violations or timeout.
+func (e *Engine) Run(maxRounds int) (int, error) {
+	e.Rounds, e.Messages, e.MaxLinkLoad = 0, 0, 0
+	for round := 1; round <= maxRounds; round++ {
+		allDone := true
+		for _, p := range e.procs {
+			if !p.Done() {
+				allDone = false
+				break
+			}
+		}
+		if allDone && e.pendingMessages() == 0 {
+			return e.Rounds, nil
+		}
+		e.Rounds = round
+
+		next := make(map[NodeID][]Message)
+		linkLoad := make(map[[2]NodeID]int)
+		for id, p := range e.procs {
+			inbox := e.inboxes[id]
+			out := p.Step(round, inbox)
+			for _, m := range out {
+				if m.From != id {
+					return round, fmt.Errorf("sim: process %d forged sender %d", id, m.From)
+				}
+				if _, ok := e.procs[m.To]; !ok {
+					return round, fmt.Errorf("sim: process %d sent to unknown %d", id, m.To)
+				}
+				if len(m.Ints) > e.MaxWords {
+					return round, fmt.Errorf("sim: CONGEST violation: %d words on %d→%d (max %d)",
+						len(m.Ints), m.From, m.To, e.MaxWords)
+				}
+				link := [2]NodeID{m.From, m.To}
+				linkLoad[link]++
+				if linkLoad[link] > 1 {
+					return round, fmt.Errorf("sim: CONGEST violation: two messages on link %d→%d in round %d",
+						m.From, m.To, round)
+				}
+				next[m.To] = append(next[m.To], m)
+				e.Messages++
+			}
+		}
+		for _, load := range linkLoad {
+			if load > e.MaxLinkLoad {
+				e.MaxLinkLoad = load
+			}
+		}
+		e.inboxes = next
+	}
+	return e.Rounds, fmt.Errorf("sim: no quiescence within %d rounds", maxRounds)
+}
+
+func (e *Engine) pendingMessages() int {
+	total := 0
+	for _, msgs := range e.inboxes {
+		total += len(msgs)
+	}
+	return total
+}

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"fmt"
+
+	"lsasg/internal/skipgraph"
+)
+
+// routerProc is the node-local standard skip-graph routing protocol
+// (Appendix B) run as a message-passing process: a routing token hops
+// greedily toward the destination, one link per round.
+type routerProc struct {
+	id     NodeID
+	key    skipgraph.Key
+	next   []NodeID // level-i right neighbour (or -1)
+	prev   []NodeID // level-i left neighbour (or -1)
+	keys   map[NodeID]skipgraph.Key
+	done   bool
+	arrive func(hops int64)
+}
+
+// Step implements Process.
+func (r *routerProc) Step(_ int, inbox []Message) []Message {
+	var out []Message
+	for _, m := range inbox {
+		if m.Kind != "route" {
+			continue
+		}
+		dst := NodeID(m.Ints[0])
+		level := int(m.Ints[1])
+		hops := m.Ints[2]
+		if dst == r.id {
+			r.done = true
+			if r.arrive != nil {
+				r.arrive(hops)
+			}
+			continue
+		}
+		out = append(out, r.forward(dst, level, hops))
+	}
+	return out
+}
+
+// forward applies one step of Appendix B: move toward the destination at
+// the highest level whose next node does not overshoot.
+func (r *routerProc) forward(dst NodeID, level int, hops int64) Message {
+	target := r.keys[dst]
+	rightward := r.key.Less(target)
+	for lvl := level; lvl >= 0; lvl-- {
+		var hop NodeID = -1
+		if rightward {
+			if n := r.next[lvl]; n >= 0 && !target.Less(r.keys[n]) {
+				hop = n
+			}
+		} else {
+			if p := r.prev[lvl]; p >= 0 && !r.keys[p].Less(target) {
+				hop = p
+			}
+		}
+		if hop >= 0 {
+			return Message{From: r.id, To: hop, Kind: "route", Ints: []int64{int64(dst), int64(lvl), hops + 1}}
+		}
+	}
+	panic(fmt.Sprintf("sim: routing stuck at %v toward %v", r.key, target))
+}
+
+// Done implements Process. Routers are passive relays: they are always
+// quiescent; the engine keeps running while the token (a pending message)
+// is in flight.
+func (r *routerProc) Done() bool { return true }
+
+// RouteOutcome reports a distributed routing execution.
+type RouteOutcome struct {
+	Hops   int64 // link traversals taken by the token
+	Rounds int   // synchronous rounds until delivery
+}
+
+// DistributedRoute runs the standard skip-graph routing src → dst as a
+// message-passing protocol over the given graph and returns the hops and
+// rounds measured by the engine. It validates that the sequential
+// RouteResult matches a genuinely distributed execution.
+func DistributedRoute(g *skipgraph.Graph, src, dst skipgraph.Key) (RouteOutcome, error) {
+	nodes := g.Nodes()
+	ids := make(map[skipgraph.Key]NodeID, len(nodes))
+	for i, n := range nodes {
+		ids[n.Key()] = NodeID(i)
+	}
+	keys := make(map[NodeID]skipgraph.Key, len(nodes))
+	for k, id := range ids {
+		keys[id] = k
+	}
+	var outcome RouteOutcome
+	eng := NewEngine()
+	var procs []*routerProc
+	for i, n := range nodes {
+		top := n.MaxLinkedLevel()
+		p := &routerProc{id: NodeID(i), key: n.Key(), keys: keys}
+		p.next = make([]NodeID, top+1)
+		p.prev = make([]NodeID, top+1)
+		for lvl := 0; lvl <= top; lvl++ {
+			p.next[lvl], p.prev[lvl] = -1, -1
+			if nn := n.Next(lvl); nn != nil {
+				p.next[lvl] = ids[nn.Key()]
+			}
+			if pp := n.Prev(lvl); pp != nil {
+				p.prev[lvl] = ids[pp.Key()]
+			}
+		}
+		p.arrive = func(hops int64) { outcome.Hops = hops }
+		procs = append(procs, p)
+		eng.Add(p.id, p)
+	}
+	srcID, ok := ids[src]
+	if !ok {
+		return outcome, fmt.Errorf("sim: unknown source %v", src)
+	}
+	dstID, ok := ids[dst]
+	if !ok {
+		return outcome, fmt.Errorf("sim: unknown destination %v", dst)
+	}
+	if srcID == dstID {
+		return outcome, nil
+	}
+	// Inject the token: the source "receives" the request in round 1.
+	sp := procs[srcID]
+	start := sp.forward(dstID, len(sp.next)-1, 0)
+	eng.inboxes[start.To] = []Message{start}
+	eng.Messages++
+	rounds, err := eng.Run(16 * (g.N() + 2))
+	if err != nil {
+		return outcome, err
+	}
+	outcome.Rounds = rounds
+	return outcome, nil
+}

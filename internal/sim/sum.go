@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"fmt"
+
+	"lsasg/internal/skiplist"
+)
+
+// sumProc is the node-local distributed-sum protocol of Appendix D run
+// over a balanced skip list. At each level, a node that did not step up
+// forwards its running subtotal to its left neighbour at that level; the
+// subtotal thus flows hop by hop into the nearest left member of the next
+// level, exactly like AMF's leftward gather. A node advances to its next
+// level once its inflow at the current level (at most one message, from
+// its adjacent right neighbour) has arrived.
+type sumProc struct {
+	id     NodeID
+	top    int      // highest skip-list level this node belongs to
+	left   []NodeID // left neighbour per level (or -1)
+	inflow []bool   // expect a message at this level?
+
+	level   int
+	sum     int64
+	pending map[int]int64 // early arrivals per level
+	got     map[int]bool
+
+	isHead bool
+	total  *int64
+	sent   bool
+	done   bool
+}
+
+// Step implements Process.
+func (p *sumProc) Step(_ int, inbox []Message) []Message {
+	for _, m := range inbox {
+		if m.Kind != "sum" {
+			continue
+		}
+		lvl := int(m.Ints[1])
+		p.pending[lvl] += m.Ints[0]
+		p.got[lvl] = true
+	}
+	if p.done {
+		return nil
+	}
+	for {
+		if p.inflow[p.level] && !p.got[p.level] {
+			return nil // wait for the chain on this level
+		}
+		p.sum += p.pending[p.level]
+		p.pending[p.level] = 0
+		if p.level < p.top {
+			p.level++
+			continue
+		}
+		// Topmost level reached with complete inflow: fold left or finish.
+		p.done = true
+		if p.isHead {
+			*p.total = p.sum
+			return nil
+		}
+		return []Message{{
+			From: p.id, To: p.left[p.level], Kind: "sum",
+			Ints: []int64{p.sum, int64(p.level)},
+		}}
+	}
+}
+
+// Done implements Process.
+func (p *sumProc) Done() bool { return p.done }
+
+// SumOutcome reports a distributed sum execution.
+type SumOutcome struct {
+	Total  int64
+	Rounds int
+}
+
+// DistributedSum executes the Appendix D distributed sum over the given
+// balanced skip list as a message-passing protocol and returns the total
+// and the measured rounds (gather only; the sequential accounting adds a
+// broadcast costing BroadcastRounds more). Because independent segments
+// pipeline here while the paper's accounting sums per-level maxima, the
+// measured rounds are at most the sequential estimate; experiment E12
+// checks both that and the exact total.
+func DistributedSum(sl *skiplist.SkipList, values []int64) (SumOutcome, error) {
+	n := sl.N()
+	if len(values) != n {
+		return SumOutcome{}, fmt.Errorf("sim: %d values for %d positions", len(values), n)
+	}
+	top := make([]int, n)
+	for d := 0; d <= sl.Height(); d++ {
+		for _, pos := range sl.Level(d) {
+			top[pos] = d
+		}
+	}
+	procs := make([]*sumProc, n)
+	head := sl.Level(0)[0]
+	for pos := 0; pos < n; pos++ {
+		procs[pos] = &sumProc{
+			id:      NodeID(pos),
+			top:     top[pos],
+			left:    make([]NodeID, top[pos]+1),
+			inflow:  make([]bool, top[pos]+1),
+			sum:     values[pos],
+			pending: make(map[int]int64),
+			got:     make(map[int]bool),
+			isHead:  pos == head,
+		}
+		for i := range procs[pos].left {
+			procs[pos].left[i] = -1
+		}
+	}
+	procs[head].total = new(int64)
+	for d := 0; d <= sl.Height(); d++ {
+		members := sl.Level(d)
+		for i, pos := range members {
+			if i > 0 {
+				procs[pos].left[d] = NodeID(members[i-1])
+			}
+			// Inflow at level d: the adjacent right member exists and tops
+			// out exactly at d (so it will fold leftward into us).
+			if i+1 < len(members) && top[members[i+1]] == d {
+				procs[pos].inflow[d] = true
+			}
+		}
+	}
+	eng := NewEngine()
+	for _, p := range procs {
+		eng.Add(p.id, p)
+	}
+	rounds, err := eng.Run(16 * (n + 2))
+	if err != nil {
+		return SumOutcome{}, err
+	}
+	return SumOutcome{Total: *procs[head].total, Rounds: rounds}, nil
+}

@@ -1,0 +1,64 @@
+package skipgraph
+
+import "fmt"
+
+// BalanceViolation reports a run of more than `a` consecutive nodes of a
+// level-d list that all moved to the same level-(d+1) sublist, violating the
+// paper's a-balance property.
+type BalanceViolation struct {
+	Level  int // the level d of the list containing the run
+	Start  Key // first node of the offending run
+	RunLen int
+	Bit    byte // the shared bit at level d+1
+}
+
+// String implements fmt.Stringer.
+func (v BalanceViolation) String() string {
+	return fmt.Sprintf("level %d: run of %d consecutive nodes with bit %d starting at %v",
+		v.Level, v.RunLen, v.Bit, v.Start)
+}
+
+// BalanceViolations scans the whole graph and returns every a-balance
+// violation: for every list at every level, no a+1 consecutive members may
+// share the next level's membership bit.
+func (g *Graph) BalanceViolations(a int) []BalanceViolation {
+	if a < 1 {
+		panic(fmt.Sprintf("skipgraph: balance parameter must be >= 1, got %d", a))
+	}
+	var out []BalanceViolation
+	g.TreeView().Walk(func(t *Tree) {
+		out = append(out, listRunViolations(t.Nodes, t.Level, a)...)
+	})
+	return out
+}
+
+// listRunViolations finds over-long same-bit runs inside one list.
+func listRunViolations(list []*Node, level, a int) []BalanceViolation {
+	var out []BalanceViolation
+	if len(list) < 2 {
+		return out
+	}
+	runStart := 0
+	for i := 1; i <= len(list); i++ {
+		boundary := i == len(list) ||
+			!list[i].HasBit(level+1) || !list[runStart].HasBit(level+1) ||
+			list[i].Bit(level+1) != list[runStart].Bit(level+1)
+		if !boundary {
+			continue
+		}
+		if runLen := i - runStart; runLen > a && list[runStart].HasBit(level+1) {
+			out = append(out, BalanceViolation{
+				Level:  level,
+				Start:  list[runStart].Key(),
+				RunLen: runLen,
+				Bit:    list[runStart].Bit(level + 1),
+			})
+		}
+		runStart = i
+	}
+	return out
+}
+
+// MaxSearchPath returns a·H, the a-balance guarantee on the search-path
+// length between any pair of nodes.
+func (g *Graph) MaxSearchPath(a int) int { return a * g.Height() }

@@ -1,0 +1,428 @@
+package skipgraph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Brancher chooses the membership bit for a node whose level-(i-1) list is
+// splitting and whose bit for level i is not yet assigned. The static
+// (non-adjusting) skip graph uses a random brancher; DSG assigns every bit
+// explicitly and uses no brancher.
+type Brancher func(n *Node, level int) byte
+
+// RandomBrancher returns a Brancher drawing independent fair bits from seed.
+func RandomBrancher(seed int64) Brancher {
+	rng := rand.New(rand.NewSource(seed))
+	return func(*Node, int) byte { return byte(rng.Intn(2)) }
+}
+
+// Graph is a skip graph: a base doubly linked list of nodes in key order,
+// recursively split into per-level linked lists by membership-vector bits.
+type Graph struct {
+	nodes  []*Node // key order
+	byKey  map[Key]*Node
+	height int // cached; -1 when dirty
+}
+
+// NewRandom builds a skip graph over n real nodes with keys and identifiers
+// 0..n-1 and independently random membership vectors (the classic Aspnes-
+// Shah construction, used as the static baseline topology).
+func NewRandom(n int, seed int64) *Graph {
+	if n < 1 {
+		panic(fmt.Sprintf("skipgraph: need at least one node, got %d", n))
+	}
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		nodes[i] = NewNode(KeyOf(int64(i)), int64(i))
+	}
+	return NewFromNodes(nodes, RandomBrancher(seed))
+}
+
+// NewFromNodes builds a graph from pre-created nodes (sorted internally by
+// key). Missing membership bits are drawn from brancher; if brancher is nil,
+// every node must already carry enough bits to become singleton.
+func NewFromNodes(nodes []*Node, brancher Brancher) *Graph {
+	g := &Graph{byKey: make(map[Key]*Node, len(nodes)), height: -1}
+	g.nodes = append(g.nodes, nodes...)
+	sort.Slice(g.nodes, func(i, j int) bool { return g.nodes[i].key.Less(g.nodes[j].key) })
+	for i := 1; i < len(g.nodes); i++ {
+		if !g.nodes[i-1].key.Less(g.nodes[i].key) {
+			panic(fmt.Sprintf("skipgraph: duplicate key %v", g.nodes[i].key))
+		}
+	}
+	for _, n := range g.nodes {
+		g.byKey[n.key] = n
+	}
+	g.Relink(g.nodes, 0, brancher)
+	return g
+}
+
+// VectorEntry describes one node for NewFromVectors.
+type VectorEntry struct {
+	Key    int64
+	ID     int64
+	Vector string // membership bits, level 1 first, e.g. "01"
+}
+
+// NewFromVectors builds a graph with explicit membership vectors, used to
+// reconstruct the paper's figures exactly. Vectors may be partial; lists
+// that still hold ≥ 2 nodes after all bits are consumed stay unsplit, which
+// matches the truncated figures (e.g. Fig 1 shows only 3 levels).
+func NewFromVectors(entries []VectorEntry) *Graph {
+	nodes := make([]*Node, len(entries))
+	for i, e := range entries {
+		n := NewNode(KeyOf(e.Key), e.ID)
+		for j, c := range e.Vector {
+			switch c {
+			case '0':
+				n.SetBit(j+1, 0)
+			case '1':
+				n.SetBit(j+1, 1)
+			default:
+				panic(fmt.Sprintf("skipgraph: bad vector %q", e.Vector))
+			}
+		}
+		nodes[i] = n
+	}
+	g := &Graph{byKey: make(map[Key]*Node, len(nodes)), height: -1}
+	g.nodes = append(g.nodes, nodes...)
+	sort.Slice(g.nodes, func(i, j int) bool { return g.nodes[i].key.Less(g.nodes[j].key) })
+	for _, n := range g.nodes {
+		g.byKey[n.key] = n
+	}
+	g.relinkPartial(g.nodes, 0)
+	return g
+}
+
+// N returns the number of nodes, including dummies.
+func (g *Graph) N() int { return len(g.nodes) }
+
+// RealN returns the number of non-dummy nodes.
+func (g *Graph) RealN() int {
+	c := 0
+	for _, n := range g.nodes {
+		if !n.dummy {
+			c++
+		}
+	}
+	return c
+}
+
+// Nodes returns the nodes in key order. The returned slice is a copy.
+func (g *Graph) Nodes() []*Node {
+	return append([]*Node(nil), g.nodes...)
+}
+
+// ByKey returns the node with the given key, or nil.
+func (g *Graph) ByKey(k Key) *Node { return g.byKey[k] }
+
+// Head returns the first node of the base list.
+func (g *Graph) Head() *Node {
+	if len(g.nodes) == 0 {
+		return nil
+	}
+	return g.nodes[0]
+}
+
+// Relink rebuilds all linked lists for the given key-ordered node subset
+// from the given level upward, assigning missing membership bits via
+// brancher (nil brancher panics on a missing bit). The subset must be the
+// complete membership of one level-`level` list.
+func (g *Graph) Relink(nodes []*Node, level int, brancher Brancher) {
+	g.height = -1
+	g.relink(nodes, level, brancher)
+}
+
+func (g *Graph) relink(nodes []*Node, level int, brancher Brancher) {
+	linkChain(nodes, level)
+	if len(nodes) < 2 {
+		if len(nodes) == 1 {
+			nodes[0].clearLinksAbove(level)
+		}
+		return
+	}
+	zeros := make([]*Node, 0, len(nodes))
+	ones := make([]*Node, 0, len(nodes))
+	for _, n := range nodes {
+		if !n.HasBit(level + 1) {
+			if n.dummy || brancher == nil {
+				// A vector may legitimately end here: dummies never
+				// participate in transformations (§IV-F), and a real node
+				// stops splitting once every other member of its list is a
+				// dummy. Such nodes stay singleton above this level.
+				n.clearLinksAbove(level)
+				continue
+			}
+			n.SetBit(level+1, brancher(n, level+1))
+		}
+		if n.Bit(level+1) == 0 {
+			zeros = append(zeros, n)
+		} else {
+			ones = append(ones, n)
+		}
+	}
+	g.relink(zeros, level+1, brancher)
+	g.relink(ones, level+1, brancher)
+}
+
+// relinkPartial is like relink but stops splitting a list when any member
+// lacks the next bit (used for truncated figure reconstructions).
+func (g *Graph) relinkPartial(nodes []*Node, level int) {
+	linkChain(nodes, level)
+	if len(nodes) < 2 {
+		if len(nodes) == 1 {
+			nodes[0].clearLinksAbove(level)
+		}
+		return
+	}
+	zeros := make([]*Node, 0, len(nodes))
+	ones := make([]*Node, 0, len(nodes))
+	for _, n := range nodes {
+		if !n.HasBit(level + 1) {
+			for _, m := range nodes {
+				m.clearLinksAbove(level)
+			}
+			return
+		}
+		if n.Bit(level+1) == 0 {
+			zeros = append(zeros, n)
+		} else {
+			ones = append(ones, n)
+		}
+	}
+	g.relinkPartial(zeros, level+1)
+	g.relinkPartial(ones, level+1)
+}
+
+func linkChain(nodes []*Node, level int) {
+	for i, n := range nodes {
+		var p, nx *Node
+		if i > 0 {
+			p = nodes[i-1]
+		}
+		if i < len(nodes)-1 {
+			nx = nodes[i+1]
+		}
+		n.setLink(level, p, nx)
+	}
+}
+
+// Height returns the smallest L such that every node is singleton in its
+// level-L list; lists exist at levels 0..L. A single-node graph has height 0.
+func (g *Graph) Height() int {
+	if g.height >= 0 {
+		return g.height
+	}
+	h := 0
+	for _, n := range g.nodes {
+		if l := n.MaxLinkedLevel(); l+1 > h && (n.Next(l) != nil || n.Prev(l) != nil) {
+			h = l + 1
+		}
+	}
+	g.height = h
+	return h
+}
+
+// ListAt returns the complete level-i linked list containing n, in key
+// order. It returns nil when n has no level-i membership.
+func (g *Graph) ListAt(n *Node, i int) []*Node {
+	head := n
+	for head.Prev(i) != nil {
+		head = head.Prev(i)
+	}
+	var list []*Node
+	for x := head; x != nil; x = x.Next(i) {
+		list = append(list, x)
+	}
+	return list
+}
+
+// SingletonLevel returns the lowest level at which n is alone in its list.
+func (g *Graph) SingletonLevel(n *Node) int {
+	return n.MaxLinkedLevel() + 1
+}
+
+// SpliceIn inserts a detached node (with fully assigned membership bits)
+// into the graph's node order and into every level's list it belongs to.
+// Callers that have invalidated upper-level links (mid-transformation) must
+// follow up with Relink.
+func (g *Graph) SpliceIn(n *Node) { g.spliceIn(n) }
+
+// spliceIn inserts a detached node (with fully assigned membership bits for
+// levels 1..depth) into the graph's node order and into every level's list
+// it belongs to.
+func (g *Graph) spliceIn(n *Node) {
+	if _, ok := g.byKey[n.key]; ok {
+		panic(fmt.Sprintf("skipgraph: duplicate key %v", n.key))
+	}
+	g.height = -1
+	pos := sort.Search(len(g.nodes), func(i int) bool { return n.key.Less(g.nodes[i].key) })
+	g.nodes = append(g.nodes, nil)
+	copy(g.nodes[pos+1:], g.nodes[pos:])
+	g.nodes[pos] = n
+	g.byKey[n.key] = n
+	for level := 0; level <= n.BitsLen(); level++ {
+		if level > 0 && !n.HasBit(level) {
+			break
+		}
+		var left, right *Node
+		for i := pos - 1; i >= 0; i-- {
+			if samePrefix(g.nodes[i], n, level) {
+				left = g.nodes[i]
+				break
+			}
+		}
+		for i := pos + 1; i < len(g.nodes); i++ {
+			if samePrefix(g.nodes[i], n, level) {
+				right = g.nodes[i]
+				break
+			}
+		}
+		n.setLink(level, left, right)
+		if left != nil {
+			left.setLink(level, left.Prev(level), n)
+		}
+		if right != nil {
+			right.setLink(level, n, right.Next(level))
+		}
+		if left == nil && right == nil && level > 0 {
+			break // singleton from here up
+		}
+	}
+}
+
+// spliceOut removes a node from the node order and from every list.
+func (g *Graph) spliceOut(n *Node) {
+	if g.byKey[n.key] != n {
+		panic(fmt.Sprintf("skipgraph: node %v not in graph", n.key))
+	}
+	g.height = -1
+	pos := sort.Search(len(g.nodes), func(i int) bool { return !g.nodes[i].key.Less(n.key) })
+	g.nodes = append(g.nodes[:pos], g.nodes[pos+1:]...)
+	delete(g.byKey, n.key)
+	for level := 0; level <= n.MaxLinkedLevel(); level++ {
+		left, right := n.Prev(level), n.Next(level)
+		if left != nil {
+			left.setLink(level, left.Prev(level), right)
+		}
+		if right != nil {
+			right.setLink(level, left, right.Next(level))
+		}
+	}
+	n.clearLinksAbove(-1)
+}
+
+// samePrefix reports whether a and b share membership bits 1..level.
+func samePrefix(a, b *Node, level int) bool {
+	for i := 1; i <= level; i++ {
+		if !a.HasBit(i) || !b.HasBit(i) || a.bits[i] != b.bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Insert adds a real node with the given key and id, assigning membership
+// bits via brancher until singleton (standard skip-graph join, §IV-G).
+func (g *Graph) Insert(key Key, id int64, brancher Brancher) *Node {
+	if _, ok := g.byKey[key]; ok {
+		panic(fmt.Sprintf("skipgraph: duplicate key %v", key))
+	}
+	n := NewNode(key, id)
+	pos := sort.Search(len(g.nodes), func(i int) bool { return key.Less(g.nodes[i].key) })
+	g.nodes = append(g.nodes, nil)
+	copy(g.nodes[pos+1:], g.nodes[pos:])
+	g.nodes[pos] = n
+	g.byKey[key] = n
+	// Relinking with the brancher assigns the new node's bits lazily and
+	// extends any peer whose vector is now too short to stay distinct.
+	g.Relink(g.nodes, 0, brancher)
+	return n
+}
+
+// Remove deletes the node with the given key (standard skip-graph leave).
+// It returns the removed node, or nil if the key is absent.
+func (g *Graph) Remove(key Key) *Node {
+	n := g.byKey[key]
+	if n == nil {
+		return nil
+	}
+	g.spliceOut(n)
+	return n
+}
+
+// Verify checks every structural invariant: strict base-key order, link
+// symmetry, and that each level-i list is exactly the key-ordered set of
+// nodes sharing an i-bit membership prefix. It returns the first violation.
+func (g *Graph) Verify() error {
+	for i := 1; i < len(g.nodes); i++ {
+		if !g.nodes[i-1].key.Less(g.nodes[i].key) {
+			return fmt.Errorf("base order violated at %v >= %v", g.nodes[i-1].key, g.nodes[i].key)
+		}
+	}
+	if len(g.byKey) != len(g.nodes) {
+		return fmt.Errorf("byKey has %d entries, want %d", len(g.byKey), len(g.nodes))
+	}
+	maxLevel := 0
+	for _, n := range g.nodes {
+		if l := n.MaxLinkedLevel(); l > maxLevel {
+			maxLevel = l
+		}
+	}
+	for level := 0; level <= maxLevel; level++ {
+		// Expected lists: group nodes by level-length prefix, in key order.
+		groups := make(map[string][]*Node)
+		var order []string
+		for _, n := range g.nodes {
+			ok := true
+			for i := 1; i <= level; i++ {
+				if !n.HasBit(i) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				// Node has no level-`level` membership; it must be singleton
+				// (no links) at this level.
+				if n.Next(level) != nil || n.Prev(level) != nil {
+					return fmt.Errorf("node %v linked at level %d beyond its vector", n.key, level)
+				}
+				continue
+			}
+			p := prefixString(n, level)
+			if _, seen := groups[p]; !seen {
+				order = append(order, p)
+			}
+			groups[p] = append(groups[p], n)
+		}
+		for _, p := range order {
+			list := groups[p]
+			for i, n := range list {
+				var wantPrev, wantNext *Node
+				if i > 0 {
+					wantPrev = list[i-1]
+				}
+				if i < len(list)-1 {
+					wantNext = list[i+1]
+				}
+				if n.Prev(level) != wantPrev {
+					return fmt.Errorf("node %v level %d: prev = %v, want %v", n.key, level, n.Prev(level), wantPrev)
+				}
+				if n.Next(level) != wantNext {
+					return fmt.Errorf("node %v level %d: next = %v, want %v", n.key, level, n.Next(level), wantNext)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func prefixString(n *Node, level int) string {
+	buf := make([]byte, level)
+	for i := 1; i <= level; i++ {
+		buf[i-1] = '0' + n.bits[i]
+	}
+	return string(buf)
+}

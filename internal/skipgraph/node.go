@@ -1,0 +1,173 @@
+package skipgraph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is a skip-graph peer. The membership vector is stored as bits[1..]:
+// bits[i] selects the 0- or 1-sublist the node joins when its level-(i-1)
+// list splits into level-i lists (the paper's "ith bit of m(x)"). bits[0] is
+// unused (level 0 holds every node). next[i]/prev[i] are the level-i linked
+// list neighbours; they are nil beyond the node's singleton level.
+type Node struct {
+	key   Key
+	id    int64 // non-negative identifier; doubles as the initial group-id
+	dummy bool
+
+	bits []byte
+	next []*Node
+	prev []*Node
+}
+
+// NewNode creates a detached node with the given key and identifier and an
+// empty membership vector.
+func NewNode(key Key, id int64) *Node {
+	if id < 0 {
+		panic(fmt.Sprintf("skipgraph: node id must be non-negative, got %d", id))
+	}
+	return &Node{key: key, id: id, bits: []byte{0}}
+}
+
+// NewDummy creates a dummy (logical, §IV-F) node: it carries no data, only
+// routes, and destroys itself on the next transformation notification.
+func NewDummy(key Key, id int64) *Node {
+	n := NewNode(key, id)
+	n.dummy = true
+	return n
+}
+
+// Key returns the node's key.
+func (n *Node) Key() Key { return n.key }
+
+// ID returns the node's non-negative identifier.
+func (n *Node) ID() int64 { return n.id }
+
+// IsDummy reports whether the node is a dummy placed for a-balance repair.
+func (n *Node) IsDummy() bool { return n.dummy }
+
+// Bit returns the membership-vector bit deciding the node's level-i list
+// (i ≥ 1). It panics if the bit has not been assigned.
+func (n *Node) Bit(i int) byte {
+	if i < 1 || i >= len(n.bits) {
+		panic(fmt.Sprintf("skipgraph: node %v has no membership bit for level %d", n.key, i))
+	}
+	return n.bits[i]
+}
+
+// HasBit reports whether the membership bit for level i is assigned.
+func (n *Node) HasBit(i int) bool { return i >= 1 && i < len(n.bits) }
+
+// SetBit assigns the membership bit for level i, extending the vector. Bits
+// must be assigned contiguously from level 1 upward.
+func (n *Node) SetBit(i int, b byte) {
+	if b != 0 && b != 1 {
+		panic(fmt.Sprintf("skipgraph: bit must be 0 or 1, got %d", b))
+	}
+	switch {
+	case i < 1:
+		panic(fmt.Sprintf("skipgraph: invalid bit level %d", i))
+	case i < len(n.bits):
+		n.bits[i] = b
+	case i == len(n.bits):
+		n.bits = append(n.bits, b)
+	default:
+		panic(fmt.Sprintf("skipgraph: non-contiguous bit assignment at level %d (have %d)", i, len(n.bits)-1))
+	}
+}
+
+// TruncateBits discards membership bits for levels > keep. Used when a
+// transformation reassigns the membership vector above a level.
+func (n *Node) TruncateBits(keep int) {
+	if keep < 0 {
+		keep = 0
+	}
+	if keep+1 < len(n.bits) {
+		n.bits = n.bits[:keep+1]
+	}
+}
+
+// BitsLen returns the highest level with an assigned membership bit.
+func (n *Node) BitsLen() int { return len(n.bits) - 1 }
+
+// MembershipVector renders the assigned bits, lowest level first (the
+// paper's m(x), e.g. "01" for node M in Fig 1).
+func (n *Node) MembershipVector() string {
+	var sb strings.Builder
+	for i := 1; i < len(n.bits); i++ {
+		sb.WriteByte('0' + n.bits[i])
+	}
+	return sb.String()
+}
+
+// Next returns the level-i right neighbour, or nil.
+func (n *Node) Next(i int) *Node {
+	if i < 0 || i >= len(n.next) {
+		return nil
+	}
+	return n.next[i]
+}
+
+// Prev returns the level-i left neighbour, or nil.
+func (n *Node) Prev(i int) *Node {
+	if i < 0 || i >= len(n.prev) {
+		return nil
+	}
+	return n.prev[i]
+}
+
+// MaxLinkedLevel returns the highest level at which the node has a neighbour.
+func (n *Node) MaxLinkedLevel() int {
+	for i := len(n.next) - 1; i >= 0; i-- {
+		if n.next[i] != nil || n.prev[i] != nil {
+			return i
+		}
+	}
+	return 0
+}
+
+// setLink sets the level-i neighbours, growing the link slices as needed.
+func (n *Node) setLink(i int, prev, next *Node) {
+	for len(n.next) <= i {
+		n.next = append(n.next, nil)
+		n.prev = append(n.prev, nil)
+	}
+	n.prev[i] = prev
+	n.next[i] = next
+}
+
+// clearLinksAbove removes all links at levels > keep.
+func (n *Node) clearLinksAbove(keep int) {
+	for i := keep + 1; i < len(n.next); i++ {
+		n.next[i] = nil
+		n.prev[i] = nil
+	}
+	if keep+1 < len(n.next) {
+		n.next = n.next[:keep+1]
+		n.prev = n.prev[:keep+1]
+	}
+}
+
+// String renders the node for debugging.
+func (n *Node) String() string {
+	tag := ""
+	if n.dummy {
+		tag = "~"
+	}
+	return fmt.Sprintf("%s%v[%s]", tag, n.key, n.MembershipVector())
+}
+
+// CommonPrefixLen returns the paper's α for two nodes: the highest level at
+// which both nodes belong to the same linked list, i.e. the length of the
+// longest common prefix of their membership vectors (capped by assigned
+// bits).
+func CommonPrefixLen(u, v *Node) int {
+	d := 0
+	for i := 1; u.HasBit(i) && v.HasBit(i); i++ {
+		if u.bits[i] != v.bits[i] {
+			break
+		}
+		d = i
+	}
+	return d
+}

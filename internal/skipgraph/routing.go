@@ -1,0 +1,98 @@
+package skipgraph
+
+import "fmt"
+
+// RouteResult describes one standard skip-graph routing (paper Appendix B).
+type RouteResult struct {
+	// Path holds the distinct nodes visited, source first and destination
+	// last. Level drops do not add entries.
+	Path []*Node
+	// LevelDrops counts how many times routing dropped a level.
+	LevelDrops int
+}
+
+// Distance returns the paper's d_S(σ): the number of intermediate nodes on
+// the communication path (excluding source and destination).
+func (r RouteResult) Distance() int {
+	if len(r.Path) < 2 {
+		return 0
+	}
+	return len(r.Path) - 2
+}
+
+// Hops returns the number of link traversals (d_S(σ) + 1 for distinct
+// endpoints).
+func (r RouteResult) Hops() int {
+	if len(r.Path) < 1 {
+		return 0
+	}
+	return len(r.Path) - 1
+}
+
+// Route performs the standard skip-graph routing from src to dst: starting
+// at the source's top level, move toward the destination while the next
+// node does not overshoot, otherwise drop one level (Appendix B).
+func (g *Graph) Route(src, dst *Node) (RouteResult, error) {
+	if src == nil || dst == nil {
+		return RouteResult{}, fmt.Errorf("skipgraph: route endpoints must be non-nil")
+	}
+	res := RouteResult{Path: []*Node{src}}
+	if src == dst {
+		return res, nil
+	}
+	right := src.key.Less(dst.key)
+	cur := src
+	level := cur.MaxLinkedLevel()
+	for cur != dst {
+		var next *Node
+		if right {
+			next = cur.Next(level)
+			if next != nil && !dst.key.Less(next.key) {
+				cur = next
+				res.Path = append(res.Path, cur)
+				// Routing may ascend back to the new node's top level; the
+				// classic description keeps the level, which we follow.
+				continue
+			}
+		} else {
+			next = cur.Prev(level)
+			if next != nil && !next.key.Less(dst.key) {
+				cur = next
+				res.Path = append(res.Path, cur)
+				continue
+			}
+		}
+		if level == 0 {
+			return res, fmt.Errorf("skipgraph: routing stuck at %v targeting %v", cur.key, dst.key)
+		}
+		level--
+		res.LevelDrops++
+	}
+	return res, nil
+}
+
+// RouteKeys routes between the nodes with the given keys.
+func (g *Graph) RouteKeys(src, dst Key) (RouteResult, error) {
+	s, d := g.byKey[src], g.byKey[dst]
+	if s == nil {
+		return RouteResult{}, fmt.Errorf("skipgraph: unknown source key %v", src)
+	}
+	if d == nil {
+		return RouteResult{}, fmt.Errorf("skipgraph: unknown destination key %v", dst)
+	}
+	return g.Route(s, d)
+}
+
+// DirectlyLinked reports whether u and v share a linked list of size exactly
+// two at some level, and returns the lowest such level. This is the paper's
+// post-transformation guarantee for a communicating pair.
+func (g *Graph) DirectlyLinked(u, v *Node) (bool, int) {
+	for level := 1; level <= u.MaxLinkedLevel(); level++ {
+		uPrev, uNext := u.Prev(level), u.Next(level)
+		if (uNext == v && uPrev == nil && v.Next(level) == nil) ||
+			(uPrev == v && uNext == nil && v.Prev(level) == nil) {
+			return true, level
+		}
+	}
+	return false, 0
+}

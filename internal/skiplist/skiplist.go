@@ -1,0 +1,273 @@
+// Package skiplist implements the balanced probabilistic skip list that the
+// paper's AMF algorithm (§V) builds over a linked list of n positions: the
+// left-most position steps up to each next level with probability 1, every
+// other position with probability 1/a, and local repair guarantees that any
+// two consecutive members of a level are supported by at least a/2 and at
+// most 2a members of the level below. The structure is reused for the
+// distributed-sum (Appendix D), distributed-count, and broadcast primitives
+// DSG needs, with synchronous-round accounting for each.
+//
+// Positions are indices 0..n-1 of the underlying linked list; the package
+// is agnostic to what the list's nodes hold.
+package skiplist
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SkipList is a built structure over n base positions.
+type SkipList struct {
+	a      int
+	levels [][]int // levels[0] = [0..n-1]; each level a subset, starting with 0
+
+	// ConstructionRounds is the synchronous-round cost of the randomized
+	// construction: per level, one promotion round plus a linear left-
+	// neighbour search bounded by the widest pre-repair gap, plus a
+	// constant for the local repair handshake.
+	ConstructionRounds int
+
+	broadcastRounds int // cached; structure is immutable after Build
+}
+
+// Build constructs the skip list over n positions with balance parameter a.
+// It panics if n < 1 or a < 2.
+func Build(n, a int, rng *rand.Rand) *SkipList {
+	if n < 1 {
+		panic(fmt.Sprintf("skiplist: need n >= 1, got %d", n))
+	}
+	if a < 2 {
+		panic(fmt.Sprintf("skiplist: need a >= 2, got %d", a))
+	}
+	s := &SkipList{a: a}
+	base := make([]int, n)
+	for i := range base {
+		base[i] = i
+	}
+	s.levels = append(s.levels, base)
+	for len(s.levels[len(s.levels)-1]) > 1 {
+		cur := s.levels[len(s.levels)-1]
+		next, rounds := promoteAndRepair(cur, a, rng)
+		s.ConstructionRounds += rounds
+		s.levels = append(s.levels, next)
+	}
+	s.broadcastRounds = s.computeBroadcastRounds()
+	return s
+}
+
+// promoteAndRepair produces the next level from cur: random promotion, then
+// demotion of under-supported members and extra promotion into over-long
+// gaps so that every support lies in [a/2, 2a]. Returned positions are the
+// values of cur (base positions); gaps are measured in cur-indices per the
+// paper's definition of support.
+func promoteAndRepair(cur []int, a int, rng *rand.Rand) (next []int, rounds int) {
+	m := len(cur)
+	// Promotion: index 0 always; others with probability 1/a.
+	idx := []int{0}
+	for i := 1; i < m; i++ {
+		if rng.Intn(a) == 0 {
+			idx = append(idx, i)
+		}
+	}
+	// One promotion round plus linear neighbour search over the widest raw
+	// gap (each freshly promoted member walks the lower level to find its
+	// level-(d+1) neighbours).
+	rounds = 1 + maxGap(idx, m)
+
+	// Repair pass 1: demote members whose support (distance to the previous
+	// kept member) is below a/2. The left-most member is never demoted.
+	minSup := a / 2
+	if minSup < 1 {
+		minSup = 1
+	}
+	kept := idx[:1]
+	for _, i := range idx[1:] {
+		if i-kept[len(kept)-1] >= minSup {
+			kept = append(kept, i)
+		}
+	}
+	// Repair pass 2: split any gap wider than 2a (including the tail after
+	// the last member) by promoting evenly spaced extra members.
+	maxSup := 2 * a
+	repaired := make([]int, 0, len(kept)+m/maxSup+1)
+	for j, i := range kept {
+		repaired = append(repaired, i)
+		end := m // tail gap runs to the (virtual) right end
+		if j+1 < len(kept) {
+			end = kept[j+1]
+		}
+		gap := end - i
+		if gap <= maxSup {
+			continue
+		}
+		segments := (gap + maxSup - 1) / maxSup
+		for k := 1; k < segments; k++ {
+			repaired = append(repaired, i+k*gap/segments)
+		}
+	}
+	rounds += 2 // leader election + step-up/step-down messages
+
+	next = make([]int, len(repaired))
+	for j, i := range repaired {
+		next[j] = cur[i]
+	}
+	return next, rounds
+}
+
+// maxGap returns the widest distance between consecutive members of idx,
+// including the tail to position m.
+func maxGap(idx []int, m int) int {
+	widest := 0
+	for j, i := range idx {
+		end := m
+		if j+1 < len(idx) {
+			end = idx[j+1]
+		}
+		if g := end - i; g > widest {
+			widest = g
+		}
+	}
+	return widest
+}
+
+// N returns the number of base positions.
+func (s *SkipList) N() int { return len(s.levels[0]) }
+
+// A returns the balance parameter.
+func (s *SkipList) A() int { return s.a }
+
+// Height returns h: the level at which the left-most position is singleton.
+func (s *SkipList) Height() int { return len(s.levels) - 1 }
+
+// Level returns the positions present at level d (a copy).
+func (s *SkipList) Level(d int) []int {
+	return append([]int(nil), s.levels[d]...)
+}
+
+// Collector returns, for a position p present at level d but not level d+1,
+// the nearest left neighbour of p that is present at level d+1 — the member
+// that gathers p's values in AMF and in the distributed sum.
+func (s *SkipList) Collector(d int, p int) int {
+	upper := s.levels[d+1]
+	best := upper[0]
+	for _, q := range upper {
+		if q > p {
+			break
+		}
+		best = q
+	}
+	return best
+}
+
+// Verify checks the support bounds on every level transition: supports must
+// lie in [a/2, 2a], the tail after a level's last member must be at most 2a,
+// and every level's head must be the base head.
+func (s *SkipList) Verify() error {
+	for d := 0; d+1 < len(s.levels); d++ {
+		lower, upper := s.levels[d], s.levels[d+1]
+		if upper[0] != lower[0] {
+			return fmt.Errorf("level %d head is %d, want %d", d+1, upper[0], lower[0])
+		}
+		posInLower := make(map[int]int, len(lower))
+		for i, p := range lower {
+			posInLower[p] = i
+		}
+		minSup := s.a / 2
+		if minSup < 1 {
+			minSup = 1
+		}
+		for j := 1; j < len(upper); j++ {
+			i1, ok1 := posInLower[upper[j-1]]
+			i2, ok2 := posInLower[upper[j]]
+			if !ok1 || !ok2 {
+				return fmt.Errorf("level %d member missing from level %d", d+1, d)
+			}
+			sup := i2 - i1
+			if sup < minSup || sup > 2*s.a {
+				return fmt.Errorf("level %d support %d outside [%d, %d]", d+1, sup, minSup, 2*s.a)
+			}
+		}
+		// Tail bound: values to the right of the last member must reach it
+		// within 2a forwarding rounds.
+		if tail := len(lower) - posInLower[upper[len(upper)-1]]; tail > 2*s.a {
+			return fmt.Errorf("level %d tail %d exceeds %d", d+1, tail, 2*s.a)
+		}
+	}
+	top := s.levels[len(s.levels)-1]
+	if len(top) != 1 || top[0] != s.levels[0][0] {
+		return fmt.Errorf("top level is %v, want singleton head", top)
+	}
+	return nil
+}
+
+// Sum computes the distributed sum of values (one per base position) per
+// Appendix D: each level forwards partial sums to the nearest left upper
+// member; the head computes the total and broadcasts it. It returns the sum
+// and the round cost (gather up plus broadcast down). Per the CONGEST
+// model, a level's gather costs its longest forwarding segment.
+func (s *SkipList) Sum(values []int64) (total int64, rounds int) {
+	if len(values) != s.N() {
+		panic(fmt.Sprintf("skiplist: Sum over %d values, want %d", len(values), s.N()))
+	}
+	partial := make(map[int]int64, len(values))
+	for p, v := range values {
+		partial[p] = v
+	}
+	for d := 0; d+1 < len(s.levels); d++ {
+		lower, upper := s.levels[d], s.levels[d+1]
+		levelRounds, segCount := 0, 0
+		k := 0 // pointer into upper; upper is a subsequence of lower
+		collector := upper[0]
+		for _, p := range lower {
+			if k < len(upper) && upper[k] == p {
+				collector = p
+				k++
+				segCount = 0
+				continue
+			}
+			partial[collector] += partial[p]
+			delete(partial, p)
+			segCount++
+			if segCount > levelRounds {
+				levelRounds = segCount
+			}
+		}
+		rounds += levelRounds
+	}
+	head := s.levels[0][0]
+	return partial[head], rounds + s.BroadcastRounds()
+}
+
+// Count is a distributed count: Sum over 0/1 indicators of pred.
+func (s *SkipList) Count(pred func(p int) bool) (count int, rounds int) {
+	values := make([]int64, s.N())
+	for p := range values {
+		if pred(p) {
+			values[p] = 1
+		}
+	}
+	total, r := s.Sum(values)
+	return int(total), r
+}
+
+// BroadcastRounds returns the round cost for the head to broadcast one
+// O(log n)-bit value to every base position through the skip list: each
+// level fans the value out across segments of width at most 2a.
+func (s *SkipList) BroadcastRounds() int { return s.broadcastRounds }
+
+func (s *SkipList) computeBroadcastRounds() int {
+	rounds := 0
+	for d := len(s.levels) - 1; d > 0; d-- {
+		lower, upper := s.levels[d-1], s.levels[d]
+		idx := make([]int, 0, len(upper))
+		k := 0
+		for i, p := range lower {
+			if k < len(upper) && upper[k] == p {
+				idx = append(idx, i)
+				k++
+			}
+		}
+		rounds += maxGap(idx, len(lower))
+	}
+	return rounds
+}

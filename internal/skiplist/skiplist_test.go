@@ -1,0 +1,151 @@
+package skiplist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildVerify(t *testing.T) {
+	for _, a := range []int{2, 3, 4, 8} {
+		for _, n := range []int{1, 2, 5, 17, 100, 1000} {
+			rng := rand.New(rand.NewSource(int64(a*1000 + n)))
+			s := Build(n, a, rng)
+			if err := s.Verify(); err != nil {
+				t.Fatalf("a=%d n=%d: %v", a, n, err)
+			}
+			if s.N() != n {
+				t.Fatalf("N = %d, want %d", s.N(), n)
+			}
+		}
+	}
+}
+
+func TestHeadAlwaysPromoted(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := Build(64, 4, rng)
+	for d := 0; d <= s.Height(); d++ {
+		if s.Level(d)[0] != 0 {
+			t.Fatalf("level %d head is %d", d, s.Level(d)[0])
+		}
+	}
+	top := s.Level(s.Height())
+	if len(top) != 1 {
+		t.Fatalf("top level has %d members", len(top))
+	}
+}
+
+func TestHeightLogarithmic(t *testing.T) {
+	// Expected height is log_b n with a/2 ≤ b ≤ 2a; allow slack.
+	for _, n := range []int{64, 512, 4096} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		s := Build(n, 4, rng)
+		logN := 0
+		for v := 1; v < n; v *= 2 {
+			logN++
+		}
+		if h := s.Height(); h > logN+2 || h < 1 {
+			t.Errorf("n=%d: height %d outside sane range (log2 n = %d)", n, h, logN)
+		}
+	}
+}
+
+func TestSumCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{1, 2, 7, 33, 256} {
+		s := Build(n, 4, rng)
+		values := make([]int64, n)
+		var want int64
+		for i := range values {
+			values[i] = int64(rng.Intn(1000) - 500)
+			want += values[i]
+		}
+		got, rounds := s.Sum(values)
+		if got != want {
+			t.Fatalf("n=%d: sum = %d, want %d", n, got, want)
+		}
+		if n > 1 && rounds <= 0 {
+			t.Fatalf("n=%d: non-positive round cost %d", n, rounds)
+		}
+		// Gather+broadcast is O(a · height): assert a loose linear-in-
+		// height bound.
+		if limit := 4 * 2 * 4 * (s.Height() + 1); rounds > limit {
+			t.Errorf("n=%d: rounds %d > %d", n, rounds, limit)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := Build(100, 4, rng)
+	got, _ := s.Count(func(p int) bool { return p%3 == 0 })
+	want := 0
+	for p := 0; p < 100; p++ {
+		if p%3 == 0 {
+			want++
+		}
+	}
+	if got != want {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+}
+
+func TestSumPanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	rng := rand.New(rand.NewSource(1))
+	Build(10, 4, rng).Sum(make([]int64, 9))
+}
+
+func TestBuildPanicsOnBadArgs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, f := range []func(){
+		func() { Build(0, 4, rng) },
+		func() { Build(10, 1, rng) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestSupportBoundsQuick property-checks the [a/2, 2a] support bounds over
+// random sizes and parameters.
+func TestSupportBoundsQuick(t *testing.T) {
+	f := func(seed int64, szRaw uint16, aRaw uint8) bool {
+		n := int(szRaw%2000) + 1
+		a := int(aRaw%7) + 2
+		rng := rand.New(rand.NewSource(seed))
+		return Build(n, a, rng).Verify() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConstructionRoundsScale asserts the expected O(log n) construction
+// cost by checking that rounds grow far slower than n.
+func TestConstructionRoundsScale(t *testing.T) {
+	mean := func(n int) float64 {
+		total := 0
+		const trials = 20
+		for i := 0; i < trials; i++ {
+			rng := rand.New(rand.NewSource(int64(n*1000 + i)))
+			total += Build(n, 4, rng).ConstructionRounds
+		}
+		return float64(total) / trials
+	}
+	small, large := mean(128), mean(4096)
+	// 32x the input should cost well under 8x the rounds if O(log n).
+	if large > 8*small {
+		t.Errorf("construction rounds scale too fast: %f → %f", small, large)
+	}
+}

@@ -1,0 +1,158 @@
+// Package workingset implements the paper's working-set machinery (§III):
+// the communication graph, the working-set number T_t(u, v), and the
+// working-set bound WS(σ) = Σ log2 T_i(σ_i) (Theorem 1's lower bound on the
+// amortized routing cost of any algorithm conforming to the model).
+//
+// The working-set number for a request (u, v) at time t is defined over the
+// communication graph G restricted to the time window that starts at the
+// last time u and v communicated with each other and ends at t: it is the
+// number of distinct nodes reachable from u or v in that restricted graph.
+// If u and v never communicated before, T_t(u, v) = n by definition.
+package workingset
+
+import (
+	"fmt"
+	"math"
+)
+
+// pair is an unordered node pair used as a map key.
+type pair struct {
+	a, b int
+}
+
+func mkPair(u, v int) pair {
+	if u > v {
+		u, v = v, u
+	}
+	return pair{a: u, b: v}
+}
+
+// Tracker maintains the communication history of an n-node system and
+// answers working-set-number queries. Memory is O(#distinct pairs).
+type Tracker struct {
+	n        int
+	clock    int
+	lastPair map[pair]int   // last time each unordered pair communicated
+	adj      map[int][]edge // adjacency with last-communication timestamps
+}
+
+type edge struct {
+	to   int
+	last int // most recent communication time on this edge
+}
+
+// NewTracker creates a Tracker for n nodes. Time starts at 1 on the first
+// Record call (timestamps are always positive, matching the paper's
+// requirement that t > any stored timestamp).
+func NewTracker(n int) *Tracker {
+	if n < 2 {
+		panic(fmt.Sprintf("workingset: need at least 2 nodes, got %d", n))
+	}
+	return &Tracker{
+		n:        n,
+		lastPair: make(map[pair]int),
+		adj:      make(map[int][]edge),
+	}
+}
+
+// N returns the number of nodes in the system.
+func (t *Tracker) N() int { return t.n }
+
+// Clock returns the current logical time (the number of recorded requests).
+func (t *Tracker) Clock() int { return t.clock }
+
+// WorkingSetNumber returns T_{now}(u, v) for the next request (u, v): the
+// number of distinct nodes connected to u or v in the communication graph
+// restricted to edges whose most recent communication happened at or after
+// the last (u, v) communication. Returns n when the pair never communicated.
+func (t *Tracker) WorkingSetNumber(u, v int) int {
+	t.checkNode(u)
+	t.checkNode(v)
+	since, ok := t.lastPair[mkPair(u, v)]
+	if !ok {
+		return t.n
+	}
+	// BFS from u and v over edges with last >= since. u and v themselves
+	// count (they communicated at time since, within the window).
+	visited := map[int]bool{u: true, v: true}
+	queue := []int{u, v}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, e := range t.adj[x] {
+			if e.last >= since && !visited[e.to] {
+				visited[e.to] = true
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return len(visited)
+}
+
+// Record advances the logical clock and records a communication between u
+// and v at the new time. It returns the working-set number the request had
+// at the moment it was issued (i.e. computed before recording).
+func (t *Tracker) Record(u, v int) int {
+	ws := t.WorkingSetNumber(u, v)
+	t.clock++
+	p := mkPair(u, v)
+	t.lastPair[p] = t.clock
+	t.bumpEdge(u, v)
+	t.bumpEdge(v, u)
+	return ws
+}
+
+func (t *Tracker) bumpEdge(from, to int) {
+	list := t.adj[from]
+	for i := range list {
+		if list[i].to == to {
+			list[i].last = t.clock
+			return
+		}
+	}
+	t.adj[from] = append(list, edge{to: to, last: t.clock})
+}
+
+func (t *Tracker) checkNode(x int) {
+	if x < 0 || x >= t.n {
+		panic(fmt.Sprintf("workingset: node %d out of range [0,%d)", x, t.n))
+	}
+}
+
+// Bound accumulates the working-set bound WS(σ) = Σ log2 T_i(σ_i) for a
+// request sequence as it is recorded.
+type Bound struct {
+	tracker *Tracker
+	total   float64
+	count   int
+}
+
+// NewBound creates a Bound accumulator over n nodes.
+func NewBound(n int) *Bound {
+	return &Bound{tracker: NewTracker(n)}
+}
+
+// Tracker exposes the underlying tracker (shared clock).
+func (b *Bound) Tracker() *Tracker { return b.tracker }
+
+// Add records one request and returns its working-set number.
+func (b *Bound) Add(u, v int) int {
+	ws := b.tracker.Record(u, v)
+	b.total += math.Log2(float64(ws))
+	b.count++
+	return ws
+}
+
+// Total returns WS(σ) for the requests recorded so far.
+func (b *Bound) Total() float64 { return b.total }
+
+// PerRequest returns WS(σ)/m, the amortized per-request lower bound.
+func (b *Bound) PerRequest() float64 {
+	if b.count == 0 {
+		return 0
+	}
+	return b.total / float64(b.count)
+}
+
+// Count returns the number of requests recorded.
+func (b *Bound) Count() int { return b.count }

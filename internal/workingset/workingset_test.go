@@ -1,0 +1,161 @@
+package workingset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestFigure2 reproduces the paper's Fig 2: for the access pattern
+// e→a, a→k, u→b(?), ..., ending with a repeat of (u, v), the communication
+// graph restricted to the window since the last (u, v) communication
+// connects exactly 5 distinct nodes to u or v, so T(u, v) = 5.
+//
+// We use the pattern described in the figure: after (u,v) communicate,
+// nodes e, a, k, u, v exchange messages while other pairs (x, y) also
+// communicate but stay disconnected from u and v; the repeated (u, v)
+// request then has working-set number 5.
+func TestFigure2(t *testing.T) {
+	// Node indices: u=0, v=1, e=2, a=3, k=4, x=5, y=6, z=7.
+	tr := NewTracker(8)
+	tr.Record(0, 1) // u ↔ v   (the "last time u and v communicated")
+	tr.Record(2, 3) // e ↔ a
+	tr.Record(3, 4) // a ↔ k
+	tr.Record(4, 0) // k ↔ u   connects {e,a,k} to u
+	tr.Record(5, 6) // x ↔ y   unrelated component
+	tr.Record(6, 7) // y ↔ z   unrelated component
+	got := tr.WorkingSetNumber(0, 1)
+	if got != 5 {
+		t.Fatalf("T(u,v) = %d, want 5 (e, a, k, u, v)", got)
+	}
+}
+
+// TestFigure3 checks the working-set bound scenario of Fig 3 / Theorem 1's
+// example: U and V communicate, then k-1 other nodes communicate with
+// members of the window; the working-set number for the repeat (U, V) is
+// k+1, so the distance bound is log2(k+1).
+func TestFigure3Scenario(t *testing.T) {
+	k := 8
+	tr := NewTracker(2 * k)
+	tr.Record(0, 1) // U ↔ V at time t'
+	// A1..A_{k-1} communicate in a chain hanging off U.
+	prev := 0
+	for i := 2; i <= k; i++ {
+		tr.Record(prev, i)
+		prev = i
+	}
+	got := tr.WorkingSetNumber(0, 1)
+	if got != k+1 {
+		t.Fatalf("T(U,V) = %d, want %d", got, k+1)
+	}
+}
+
+func TestFirstTimePairIsN(t *testing.T) {
+	tr := NewTracker(10)
+	if got := tr.WorkingSetNumber(3, 7); got != 10 {
+		t.Fatalf("first-time pair: T = %d, want n = 10", got)
+	}
+	tr.Record(3, 7)
+	if got := tr.WorkingSetNumber(3, 7); got != 2 {
+		t.Fatalf("immediate repeat: T = %d, want 2", got)
+	}
+}
+
+func TestWindowRestriction(t *testing.T) {
+	// Communication before the last (u,v) exchange must not count.
+	tr := NewTracker(6)
+	tr.Record(0, 2) // u ↔ a (old)
+	tr.Record(2, 3) // a ↔ b (old)
+	tr.Record(0, 1) // u ↔ v  ← window starts here
+	tr.Record(0, 4) // u ↔ c (new)
+	// Old edges (u,a) and (a,b) are outside the window: a's last
+	// communication with u was at time 1 < window start 3.
+	if got := tr.WorkingSetNumber(0, 1); got != 3 {
+		t.Fatalf("T = %d, want 3 (u, v, c)", got)
+	}
+	// But if a communicates with u again, it re-enters the window, and
+	// the a–b edge is still stale.
+	tr.Record(0, 2)
+	if got := tr.WorkingSetNumber(0, 1); got != 4 {
+		t.Fatalf("T = %d, want 4 (u, v, c, a)", got)
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	tr := NewTracker(5)
+	tr.Record(1, 2)
+	if tr.WorkingSetNumber(1, 2) != tr.WorkingSetNumber(2, 1) {
+		t.Fatal("working-set number not symmetric")
+	}
+}
+
+func TestRecordReturnsPreRecordingNumber(t *testing.T) {
+	tr := NewTracker(4)
+	if got := tr.Record(0, 1); got != 4 {
+		t.Fatalf("first Record returned %d, want n = 4", got)
+	}
+	if got := tr.Record(0, 1); got != 2 {
+		t.Fatalf("repeat Record returned %d, want 2", got)
+	}
+}
+
+func TestBoundAccumulation(t *testing.T) {
+	b := NewBound(8)
+	b.Add(0, 1) // T = 8 → log2 8 = 3
+	b.Add(0, 1) // T = 2 → log2 2 = 1
+	want := 3.0 + 1.0
+	if math.Abs(b.Total()-want) > 1e-9 {
+		t.Fatalf("WS = %f, want %f", b.Total(), want)
+	}
+	if math.Abs(b.PerRequest()-want/2) > 1e-9 {
+		t.Fatalf("per-request = %f", b.PerRequest())
+	}
+	if b.Count() != 2 {
+		t.Fatalf("count = %d", b.Count())
+	}
+}
+
+// TestRepeatedPairConverges: with only one pair communicating, every
+// working-set number after the first is 2, so WS grows by 1 per request.
+func TestRepeatedPairConverges(t *testing.T) {
+	b := NewBound(100)
+	b.Add(10, 20)
+	for i := 0; i < 50; i++ {
+		if ws := b.Add(10, 20); ws != 2 {
+			t.Fatalf("repeat %d: T = %d, want 2", i, ws)
+		}
+	}
+}
+
+// TestWorkingSetMonotoneInActivity: more unrelated-but-connected activity
+// between repeats cannot decrease the working-set number.
+func TestWorkingSetMonotoneInActivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 20
+		extra := rng.Intn(8)
+		tr := NewTracker(n)
+		tr.Record(0, 1)
+		// A connected chain of `extra` communications touching node 0.
+		prev := 0
+		for i := 0; i < extra; i++ {
+			next := 2 + i
+			tr.Record(prev, next)
+			prev = next
+		}
+		got := tr.WorkingSetNumber(0, 1)
+		if got != 2+extra {
+			t.Fatalf("extra=%d: T = %d, want %d", extra, got, 2+extra)
+		}
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for out-of-range node")
+		}
+	}()
+	tr := NewTracker(4)
+	tr.WorkingSetNumber(0, 9)
+}

@@ -1,0 +1,283 @@
+// Package workload generates communication-request sequences used to drive
+// self-adjusting topologies. All generators are deterministic for a given
+// seed so experiments are reproducible.
+//
+// A request is a (source, destination) pair of node indices in [0, n). The
+// generators cover the traffic classes the paper's introduction motivates:
+// uniform (no skew to exploit), Zipf-skewed, repeated pairs, temporally
+// local ("working set") traffic, community-clustered traffic, and an
+// adversarial uniform permutation schedule.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Request is a single source→destination communication request.
+type Request struct {
+	Src int
+	Dst int
+}
+
+// Generator produces a request sequence over n nodes.
+type Generator interface {
+	// Name identifies the generator in experiment tables.
+	Name() string
+	// Generate returns m requests over node indices [0, n).
+	Generate(n, m int) []Request
+}
+
+func checkArgs(n, m int) {
+	if n < 2 {
+		panic(fmt.Sprintf("workload: need at least 2 nodes, got %d", n))
+	}
+	if m < 0 {
+		panic(fmt.Sprintf("workload: negative request count %d", m))
+	}
+}
+
+// Uniform picks source and destination independently and uniformly.
+type Uniform struct {
+	Seed int64
+}
+
+// Name implements Generator.
+func (Uniform) Name() string { return "uniform" }
+
+// Generate implements Generator.
+func (g Uniform) Generate(n, m int) []Request {
+	checkArgs(n, m)
+	rng := rand.New(rand.NewSource(g.Seed))
+	reqs := make([]Request, 0, m)
+	for len(reqs) < m {
+		src := rng.Intn(n)
+		dst := rng.Intn(n)
+		if src == dst {
+			continue
+		}
+		reqs = append(reqs, Request{Src: src, Dst: dst})
+	}
+	return reqs
+}
+
+// Zipf draws both endpoints from a Zipf distribution with exponent S over a
+// random permutation of the nodes, yielding the skewed popularity pattern
+// typical of peer-to-peer traffic.
+type Zipf struct {
+	Seed int64
+	S    float64 // exponent, must be > 1
+}
+
+// Name implements Generator.
+func (g Zipf) Name() string { return fmt.Sprintf("zipf(s=%.2f)", g.S) }
+
+// Generate implements Generator.
+func (g Zipf) Generate(n, m int) []Request {
+	checkArgs(n, m)
+	s := g.S
+	if s <= 1 {
+		s = 1.01
+	}
+	rng := rand.New(rand.NewSource(g.Seed))
+	z := rand.NewZipf(rng, s, 1, uint64(n-1))
+	perm := rng.Perm(n)
+	reqs := make([]Request, 0, m)
+	for len(reqs) < m {
+		src := perm[int(z.Uint64())]
+		dst := perm[int(z.Uint64())]
+		if src == dst {
+			continue
+		}
+		reqs = append(reqs, Request{Src: src, Dst: dst})
+	}
+	return reqs
+}
+
+// RepeatedPairs selects K disjoint hot pairs; each request picks a hot pair
+// with probability Hot, otherwise a uniform random pair. With Hot = 1 and
+// K = 1 this is the best case for any self-adjusting topology.
+type RepeatedPairs struct {
+	Seed int64
+	K    int     // number of hot pairs (≥ 1)
+	Hot  float64 // probability of drawing a hot pair
+}
+
+// Name implements Generator.
+func (g RepeatedPairs) Name() string {
+	return fmt.Sprintf("pairs(k=%d,hot=%.2f)", g.K, g.Hot)
+}
+
+// Generate implements Generator.
+func (g RepeatedPairs) Generate(n, m int) []Request {
+	checkArgs(n, m)
+	k := g.K
+	if k < 1 {
+		k = 1
+	}
+	if 2*k > n {
+		k = n / 2
+	}
+	rng := rand.New(rand.NewSource(g.Seed))
+	perm := rng.Perm(n)
+	pairs := make([]Request, k)
+	for i := 0; i < k; i++ {
+		pairs[i] = Request{Src: perm[2*i], Dst: perm[2*i+1]}
+	}
+	reqs := make([]Request, 0, m)
+	for len(reqs) < m {
+		if rng.Float64() < g.Hot {
+			reqs = append(reqs, pairs[rng.Intn(k)])
+			continue
+		}
+		src := rng.Intn(n)
+		dst := rng.Intn(n)
+		if src == dst {
+			continue
+		}
+		reqs = append(reqs, Request{Src: src, Dst: dst})
+	}
+	return reqs
+}
+
+// Temporal emulates working-set locality: requests are drawn from a sliding
+// set of W currently-active nodes; at each step the active set mutates with
+// probability Churn. Small W means strong temporal locality, so the paper's
+// working-set bound is small and DSG should win big.
+type Temporal struct {
+	Seed  int64
+	W     int     // working-set size (≥ 2)
+	Churn float64 // per-request probability of swapping one active node
+}
+
+// Name implements Generator.
+func (g Temporal) Name() string { return fmt.Sprintf("temporal(w=%d)", g.W) }
+
+// Generate implements Generator.
+func (g Temporal) Generate(n, m int) []Request {
+	checkArgs(n, m)
+	w := g.W
+	if w < 2 {
+		w = 2
+	}
+	if w > n {
+		w = n
+	}
+	rng := rand.New(rand.NewSource(g.Seed))
+	perm := rng.Perm(n)
+	active := append([]int(nil), perm[:w]...)
+	inactive := append([]int(nil), perm[w:]...)
+	reqs := make([]Request, 0, m)
+	for len(reqs) < m {
+		if len(inactive) > 0 && rng.Float64() < g.Churn {
+			ai := rng.Intn(len(active))
+			ii := rng.Intn(len(inactive))
+			active[ai], inactive[ii] = inactive[ii], active[ai]
+		}
+		i := rng.Intn(len(active))
+		j := rng.Intn(len(active))
+		if i == j {
+			continue
+		}
+		reqs = append(reqs, Request{Src: active[i], Dst: active[j]})
+	}
+	return reqs
+}
+
+// Clustered partitions the nodes into C communities; a request stays inside
+// one community with probability Local. This models the rack/data-center
+// hierarchy from the paper's conclusion (VM migration use case).
+type Clustered struct {
+	Seed  int64
+	C     int     // number of communities (≥ 1)
+	Local float64 // probability that a request is intra-community
+}
+
+// Name implements Generator.
+func (g Clustered) Name() string {
+	return fmt.Sprintf("clustered(c=%d,local=%.2f)", g.C, g.Local)
+}
+
+// Generate implements Generator.
+func (g Clustered) Generate(n, m int) []Request {
+	checkArgs(n, m)
+	c := g.C
+	if c < 1 {
+		c = 1
+	}
+	if c > n/2 {
+		c = n / 2
+	}
+	rng := rand.New(rand.NewSource(g.Seed))
+	perm := rng.Perm(n)
+	communities := make([][]int, c)
+	for i, p := range perm {
+		communities[i%c] = append(communities[i%c], p)
+	}
+	reqs := make([]Request, 0, m)
+	for len(reqs) < m {
+		var src, dst int
+		if rng.Float64() < g.Local {
+			comm := communities[rng.Intn(c)]
+			src = comm[rng.Intn(len(comm))]
+			dst = comm[rng.Intn(len(comm))]
+		} else {
+			src = rng.Intn(n)
+			dst = rng.Intn(n)
+		}
+		if src == dst {
+			continue
+		}
+		reqs = append(reqs, Request{Src: src, Dst: dst})
+	}
+	return reqs
+}
+
+// Adversarial cycles deterministically through all ordered pairs of a random
+// permutation in a round-robin order, ensuring every request's working set
+// is maximal. No self-adjusting algorithm can beat Θ(log n) per request
+// here, making it the stress case for DSG's O(log n) worst-case guarantee.
+type Adversarial struct {
+	Seed int64
+}
+
+// Name implements Generator.
+func (Adversarial) Name() string { return "adversarial" }
+
+// Generate implements Generator.
+func (g Adversarial) Generate(n, m int) []Request {
+	checkArgs(n, m)
+	rng := rand.New(rand.NewSource(g.Seed))
+	perm := rng.Perm(n)
+	reqs := make([]Request, 0, m)
+	// Stride through pairs (i, i+stride) with varying stride so consecutive
+	// requests share no endpoints and revisit pairs as rarely as possible.
+	for stride := 1; len(reqs) < m; stride++ {
+		st := stride % (n - 1)
+		if st == 0 {
+			st = 1
+		}
+		for i := 0; i < n && len(reqs) < m; i++ {
+			j := (i + st) % n
+			reqs = append(reqs, Request{Src: perm[i], Dst: perm[j]})
+		}
+	}
+	return reqs
+}
+
+// Zipfian frequency helper used in analyses/tests.
+
+// ZipfWeights returns normalized Zipf weights for ranks 1..n with exponent s.
+func ZipfWeights(n int, s float64) []float64 {
+	ws := make([]float64, n)
+	var sum float64
+	for i := range ws {
+		ws[i] = 1 / math.Pow(float64(i+1), s)
+		sum += ws[i]
+	}
+	for i := range ws {
+		ws[i] /= sum
+	}
+	return ws
+}

@@ -1,0 +1,185 @@
+package lsasg
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestNetworkBasics(t *testing.T) {
+	nw, err := New(32, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.N() != 32 || nw.Balance() != 4 {
+		t.Fatalf("N=%d balance=%d", nw.N(), nw.Balance())
+	}
+	res, err := nw.Request(3, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WorkingSetNumber != 32 {
+		t.Errorf("first request working set = %d, want 32", res.WorkingSetNumber)
+	}
+	if res.ServiceCost != res.RouteDistance+res.TransformRounds+1 {
+		t.Errorf("service cost mismatch: %+v", res)
+	}
+	if ok, lvl := nw.DirectlyLinked(3, 29); !ok || lvl < 1 {
+		t.Errorf("pair not directly linked (lvl=%d)", lvl)
+	}
+	d, err := nw.Distance(3, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("post-adjust distance = %d, want 0", d)
+	}
+	res2, err := nw.Request(3, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.WorkingSetNumber != 2 {
+		t.Errorf("repeat working set = %d, want 2", res2.WorkingSetNumber)
+	}
+	if err := nw.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetworkErrors(t *testing.T) {
+	if _, err := New(1); err == nil {
+		t.Error("n=1 should fail")
+	}
+	nw, _ := New(8, WithSeed(2))
+	if _, err := nw.Request(0, 0); err == nil {
+		t.Error("self request should fail")
+	}
+	if _, err := nw.Request(-1, 3); err == nil {
+		t.Error("negative index should fail")
+	}
+	if _, err := nw.Request(3, 8); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+	if _, err := nw.Distance(0, 99); err == nil {
+		t.Error("distance to unknown should fail")
+	}
+}
+
+func TestNetworkStats(t *testing.T) {
+	nw, _ := New(16, WithSeed(3), WithInvariantChecks())
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 60; i++ {
+		u, v := rng.Intn(16), rng.Intn(16)
+		if u == v {
+			continue
+		}
+		if _, err := nw.Request(u, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := nw.Stats()
+	if s.Requests == 0 || s.MeanRouteDistance < 0 || s.Height < 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.WorkingSetBound <= 0 {
+		t.Fatal("working-set bound not accumulated")
+	}
+	if s.TotalTransformRounds <= 0 {
+		t.Fatal("no transformation rounds recorded")
+	}
+}
+
+func TestExactMedianOption(t *testing.T) {
+	nw, _ := New(16, WithSeed(5), WithExactMedian())
+	for i := 0; i < 20; i++ {
+		if _, err := nw.Request(i%15, 15); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := nw.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddRemoveRequiresNoTracking(t *testing.T) {
+	nw, _ := New(8, WithSeed(6))
+	if _, err := nw.AddNode(); err == nil {
+		t.Error("AddNode with tracking should fail")
+	}
+	nw2, _ := New(8, WithSeed(6), WithoutWorkingSetTracking())
+	idx, err := nw2.AddNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 8 {
+		t.Fatalf("new index = %d, want 8", idx)
+	}
+	if _, err := nw2.Request(0, idx); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw2.RemoveNode(idx); err != nil {
+		t.Fatal(err)
+	}
+	if nw2.WorkingSetNumber(0, 1) != 0 {
+		t.Error("working-set number should be 0 when tracking disabled")
+	}
+}
+
+func TestRenderTopology(t *testing.T) {
+	nw, _ := New(8, WithSeed(7))
+	var sb strings.Builder
+	nw.RenderTopology(&sb)
+	out := sb.String()
+	if !strings.HasPrefix(out, "L0: 0 1 2 3 4 5 6 7") {
+		t.Fatalf("unexpected topology render:\n%s", out)
+	}
+	if !strings.Contains(out, "L1:") {
+		t.Fatal("missing level 1")
+	}
+}
+
+func TestBalanceOption(t *testing.T) {
+	nw, _ := New(16, WithSeed(8), WithBalance(2))
+	if nw.Balance() != 2 {
+		t.Fatalf("balance = %d", nw.Balance())
+	}
+	for i := 1; i < 16; i++ {
+		if _, err := nw.Request(0, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSelfAdjustmentBeatsStaticOnSkew is the package-level headline check:
+// repeated traffic between a small hot set becomes much cheaper than the
+// uniform baseline cost.
+func TestSelfAdjustmentBeatsStaticOnSkew(t *testing.T) {
+	nw, _ := New(64, WithSeed(9))
+	rng := rand.New(rand.NewSource(10))
+	hot := []int{3, 17, 42}
+	// Warm-up: serve hot pairs.
+	for i := 0; i < 30; i++ {
+		u, v := hot[rng.Intn(3)], hot[rng.Intn(3)]
+		if u == v {
+			continue
+		}
+		if _, err := nw.Request(u, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After warm-up every hot pair should be within a couple of hops.
+	for _, u := range hot {
+		for _, v := range hot {
+			if u == v {
+				continue
+			}
+			d, err := nw.Distance(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d > 3 {
+				t.Errorf("hot pair (%d,%d) distance %d after warm-up", u, v, d)
+			}
+		}
+	}
+}
