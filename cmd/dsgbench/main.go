@@ -1,6 +1,8 @@
-// Command dsgbench regenerates the experiment tables of EXPERIMENTS.md:
-// empirical validations of every lemma/theorem in the paper plus the
-// comparison studies against the static skip graph and SplayNet.
+// Command dsgbench renders the experiment tables as human-readable text on
+// stdout: empirical validations of every lemma/theorem in the paper plus
+// the comparison studies against the static skip graph and SplayNet. It is
+// the interactive twin of cmd/dsgexp, which runs the same registry but
+// writes machine-readable CSV/JSON result files.
 //
 // Usage:
 //
@@ -8,14 +10,13 @@
 //	dsgbench -run E1,E8      # run selected experiments
 //	dsgbench -quick          # smaller sizes (seconds instead of minutes)
 //	dsgbench -seed 7         # change the random seed
+//	dsgbench -list           # list registered experiments and exit
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
-	"time"
 
 	"lsasg/internal/experiments"
 )
@@ -25,8 +26,14 @@ func main() {
 		run   = flag.String("run", "", "comma-separated experiment ids (e.g. E1,E8); empty = all")
 		quick = flag.Bool("quick", false, "run at reduced scale")
 		seed  = flag.Int64("seed", 1, "random seed")
+		list  = flag.Bool("list", false, "list registered experiments and exit")
 	)
 	flag.Parse()
+
+	if *list {
+		experiments.FprintRegistry(os.Stdout)
+		return
+	}
 
 	sc := experiments.Full()
 	if *quick {
@@ -34,26 +41,18 @@ func main() {
 	}
 	sc.Seed = *seed
 
-	selected := map[string]bool{}
-	for _, id := range strings.Split(*run, ",") {
-		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
-			selected[id] = true
-		}
-	}
-
-	ran := 0
-	for _, e := range experiments.All() {
-		if len(selected) > 0 && !selected[e.ID] {
-			continue
-		}
-		start := time.Now()
-		table := e.Run(sc)
-		table.Render(os.Stdout)
-		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
-		ran++
-	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "dsgbench: no experiment matched %q\n", *run)
+	selected, err := experiments.Select(*run)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsgbench: %v\n", err)
 		os.Exit(2)
+	}
+	for _, e := range selected {
+		res, err := experiments.Run(e, experiments.RunConfig{Scale: sc})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsgbench: %v\n", err)
+			os.Exit(1)
+		}
+		res.Table.Render(os.Stdout)
+		fmt.Printf("(%s [%s] in %.1fs)\n\n", e.ID, e.PaperRef, res.Elapsed.Seconds())
 	}
 }

@@ -1,0 +1,109 @@
+// Command dsgexp is the reproducible experiment runner: it executes a
+// configurable grid over the registered paper experiments (E1–E12) and
+// writes machine-readable results — one CSV and one JSON per experiment
+// plus a BENCH_dsgexp.json summary — to a timestamped output directory.
+// Two runs with the same flags and seed produce byte-identical CSVs, so
+// result files can be diffed across commits to track the performance
+// trajectory of the implementation.
+//
+// Usage:
+//
+//	dsgexp -quick -seed 1            # all experiments, reduced scale
+//	dsgexp -full -repeats 5          # full scale, 5 repeats aggregated as mean/sd
+//	dsgexp -only E5,E8 -out results  # two experiments into ./results
+//	dsgexp -list                     # list registered experiments and exit
+//
+// Experiments run in parallel (bounded by -par); each (experiment, repeat)
+// cell derives its own seed from -seed, so parallelism never changes the
+// results. The optional -bench flag writes an extra copy of the summary to
+// a fixed path (e.g. the repo root) for CI diffing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"lsasg/internal/experiments"
+)
+
+func main() {
+	var (
+		quick   = flag.Bool("quick", false, "run at reduced scale (seconds per experiment)")
+		full    = flag.Bool("full", false, "run at full scale (the default)")
+		repeats = flag.Int("repeats", 1, "independent repetitions per experiment, aggregated as mean/sd")
+		seed    = flag.Int64("seed", 1, "base random seed; per-experiment seeds derive from it")
+		only    = flag.String("only", "", "comma-separated experiment ids to run (e.g. E5,E8); empty = all")
+		out     = flag.String("out", "", "output directory (default dsgexp_runs/<timestamp>)")
+		par     = flag.Int("par", 0, "max experiments running concurrently (0 = GOMAXPROCS)")
+		bench   = flag.String("bench", "", "also write the BENCH_dsgexp.json summary to this path")
+		list    = flag.Bool("list", false, "list registered experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		experiments.FprintRegistry(os.Stdout)
+		return
+	}
+	if *quick && *full {
+		fail("pick one of -quick and -full")
+	}
+
+	sc := experiments.Full()
+	scaleName := "full"
+	if *quick {
+		sc = experiments.Quick()
+		scaleName = "quick"
+	}
+	sc.Seed = *seed
+
+	selected, err := experiments.Select(*only)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	outDir := *out
+	if outDir == "" {
+		outDir = filepath.Join("dsgexp_runs", time.Now().Format("20060102_150405"))
+	}
+
+	fmt.Printf("dsgexp: %d experiment(s), scale=%s, seed=%d, repeats=%d → %s\n",
+		len(selected), scaleName, *seed, *repeats, outDir)
+	summary, err := experiments.RunGrid(experiments.GridConfig{
+		RunConfig:   experiments.RunConfig{Scale: sc, Repeats: *repeats},
+		Experiments: selected,
+		OutDir:      outDir,
+		ScaleName:   scaleName,
+		Parallelism: *par,
+		Progress: func(format string, args ...interface{}) {
+			fmt.Printf(format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("dsgexp: wrote %s in %.1fs\n",
+		filepath.Join(outDir, experiments.SummaryFileName), summary.TotalSeconds)
+
+	if *bench != "" {
+		src := filepath.Join(outDir, experiments.SummaryFileName)
+		data, err := os.ReadFile(src)
+		if err == nil {
+			err = os.WriteFile(*bench, data, 0o644)
+		}
+		if err != nil {
+			fail("copying summary to %s: %v", *bench, err)
+		}
+		fmt.Printf("dsgexp: summary also at %s\n", *bench)
+	}
+	if summary.Failed > 0 {
+		fail("%d experiment(s) failed", summary.Failed)
+	}
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "dsgexp: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module lsasg
+
+go 1.24

@@ -1,0 +1,12 @@
+// Package baseline implements the comparison systems for the evaluation:
+//
+//   - Static: a random skip graph — the classic Aspnes-Shah topology DSG
+//     starts from — that routes but never adapts, so every request costs
+//     the full skip-graph routing distance regardless of the pattern;
+//   - SplayNet: the self-adjusting binary-search-tree network of Avin,
+//     Haeupler, Lotker, Scheideler & Schmid (IPDPS 2013), the single-BST
+//     prior work the paper positions itself against in §II — amortized
+//     O(log n) only, with no per-request guarantee.
+//
+// Experiments E8–E10 compare DSG against both across workload skews.
+package baseline

@@ -1,8 +1,3 @@
-// Package baseline implements the comparison systems for the evaluation:
-// a static (non-adjusting) skip graph — the classic Aspnes-Shah topology
-// DSG starts from — and SplayNet (Avin, Haeupler, Lotker, Scheideler,
-// Schmid, IPDPS 2013), the single-BST self-adjusting network the paper
-// positions itself against in §II.
 package baseline
 
 import (

@@ -1,0 +1,26 @@
+// Package experiments is the paper-experiment registry and runner.
+//
+// Each registered Experiment (E1–E12) empirically validates one
+// lemma/theorem of Locally Self-Adjusting Skip Graphs (Huq & Ghosh, ICDCS
+// 2017) or runs one of the comparison studies the paper motivates; the
+// paper itself has no quantitative evaluation section (it is analysis-only),
+// so this registry is the repo's evaluation. docs/EXPERIMENTS.md maps every
+// experiment to its paper reference and the expected qualitative outcome.
+//
+// The package has three layers:
+//
+//   - the experiment functions (E1AMFQuality … E12SimValidation), each a
+//     pure func(Scale) *stats.Table;
+//   - the registry (Registry, ByID, Select): stable ids, file-name slugs,
+//     descriptions, and paper references for every experiment;
+//   - the runner (Run, RunGrid): per-experiment seed derivation, repeat
+//     aggregation into mean/sd columns, panic isolation, parallel grid
+//     execution, and the CSV/JSON/BENCH_dsgexp.json output files consumed
+//     by cmd/dsgexp.
+//
+// Reproducibility contract: every (experiment, repeat) cell derives its
+// seed deterministically from the base seed and the experiment id, so runs
+// with the same flags produce byte-identical CSVs regardless of
+// parallelism, and filtering experiments never shifts another experiment's
+// randomness.
+package experiments

@@ -1,9 +1,3 @@
-// Package experiments regenerates every table of EXPERIMENTS.md: one
-// function per experiment id (E1–E12), each returning a rendered table.
-// The paper has no quantitative evaluation section (it is analysis-only),
-// so the experiments validate each theorem/lemma empirically and add the
-// comparison studies the paper motivates; EXPERIMENTS.md records the
-// mapping and the measured outcomes.
 package experiments
 
 import (
@@ -177,7 +171,7 @@ func E4Height(sc Scale) *stats.Table {
 // and max of distance / (log2 T + 1).
 func E5WorkingSetProperty(sc Scale) *stats.Table {
 	t := stats.NewTable("E5 — working-set property (Theorem 2: d(u,v) = O(log T))",
-		"n", "workload", "checked", "mean ratio", "p99 ratio", "max ratio")
+		"n", "workload", "params", "checked", "mean ratio", "p99 ratio", "max ratio")
 	for _, n := range sc.Sizes {
 		for _, gen := range []workload.Generator{
 			workload.Temporal{Seed: sc.Seed, W: 8, Churn: 0.1},
@@ -203,7 +197,7 @@ func E5WorkingSetProperty(sc Scale) *stats.Table {
 				}
 			}
 			s := stats.Summarize(ratios)
-			t.AddRow(n, gen.Name(), s.N, s.Mean, s.P99, s.Max)
+			t.AddRow(n, gen.Name(), workload.ParamString(gen), s.N, s.Mean, s.P99, s.Max)
 		}
 	}
 	return t
@@ -213,16 +207,16 @@ func E5WorkingSetProperty(sc Scale) *stats.Table {
 // a constant factor of the working-set bound WS(σ).
 func E6RoutingVsWS(sc Scale) *stats.Table {
 	t := stats.NewTable("E6 — routing cost vs working-set bound (Theorem 4: constant factor)",
-		"n", "workload", "Σ(d+1)", "WS(σ)", "ratio")
+		"n", "workload", "params", "Σ(d+1)", "WS(σ)", "ratio")
 	for _, n := range sc.Sizes {
-		for _, gen := range allWorkloads(sc.Seed) {
+		for _, gen := range workload.Suite(sc.Seed) {
 			reqs := gen.Generate(n, sc.Requests)
 			dists, _, ws := runDSG(n, 4, reqs, sc.Seed)
 			total := 0.0
 			for _, d := range dists {
 				total += float64(d) + 1
 			}
-			t.AddRow(n, gen.Name(), total, ws, total/math.Max(ws, 1))
+			t.AddRow(n, gen.Name(), workload.ParamString(gen), total, ws, total/math.Max(ws, 1))
 		}
 	}
 	return t
@@ -232,7 +226,7 @@ func E6RoutingVsWS(sc Scale) *stats.Table {
 // is within an O(log n)-ish factor of WS(σ).
 func E7TotalCostVsWS(sc Scale) *stats.Table {
 	t := stats.NewTable("E7 — total cost vs working-set bound (Theorem 5: O(log) factor)",
-		"n", "workload", "Σcost", "WS(σ)", "ratio", "ratio/log2 n")
+		"n", "workload", "params", "Σcost", "WS(σ)", "ratio", "ratio/log2 n")
 	for _, n := range sc.Sizes {
 		for _, gen := range []workload.Generator{
 			workload.Temporal{Seed: sc.Seed, W: 8, Churn: 0.1},
@@ -245,31 +239,19 @@ func E7TotalCostVsWS(sc Scale) *stats.Table {
 				total += float64(dists[i]) + float64(rounds[i]) + 1
 			}
 			ratio := total / math.Max(ws, 1)
-			t.AddRow(n, gen.Name(), total, ws, ratio, ratio/math.Log2(float64(n)))
+			t.AddRow(n, gen.Name(), workload.ParamString(gen), total, ws, ratio, ratio/math.Log2(float64(n)))
 		}
 	}
 	return t
-}
-
-func allWorkloads(seed int64) []workload.Generator {
-	return []workload.Generator{
-		workload.Uniform{Seed: seed},
-		workload.Zipf{Seed: seed, S: 1.2},
-		workload.Zipf{Seed: seed, S: 1.6},
-		workload.RepeatedPairs{Seed: seed, K: 4, Hot: 0.9},
-		workload.Temporal{Seed: seed, W: 8, Churn: 0.1},
-		workload.Clustered{Seed: seed, C: 8, Local: 0.9},
-		workload.Adversarial{Seed: seed},
-	}
 }
 
 // E8Comparison is the headline study: mean routing distance per request of
 // DSG vs the static skip graph vs SplayNet across workload skews.
 func E8Comparison(sc Scale) *stats.Table {
 	t := stats.NewTable("E8 — mean routing distance: DSG vs static skip graph vs SplayNet",
-		"n", "workload", "DSG", "static", "SplayNet", "DSG/static")
+		"n", "workload", "params", "DSG", "static", "SplayNet", "DSG/static")
 	n := sc.Sizes[len(sc.Sizes)-1]
-	for _, gen := range allWorkloads(sc.Seed) {
+	for _, gen := range workload.Suite(sc.Seed) {
 		reqs := gen.Generate(n, sc.Requests)
 		dists, _, _ := runDSG(n, 4, reqs, sc.Seed)
 		meanDSG := stats.MeanInts(dists)
@@ -296,7 +278,8 @@ func E8Comparison(sc Scale) *stats.Table {
 		}
 		meanSplay := stats.MeanInts(snDists)
 
-		t.AddRow(n, gen.Name(), meanDSG, meanStatic, meanSplay, meanDSG/math.Max(meanStatic, 0.001))
+		t.AddRow(n, gen.Name(), workload.ParamString(gen), meanDSG, meanStatic, meanSplay,
+			meanDSG/math.Max(meanStatic, 0.001))
 	}
 	return t
 }
@@ -416,28 +399,4 @@ func E12SimValidation(sc Scale) *stats.Table {
 	}
 	t.AddRow("skip-list sum", 200, sc.Trials, mism, "pipelined rounds ≤ sequential estimate")
 	return t
-}
-
-// All returns every experiment keyed by id, in order.
-func All() []struct {
-	ID  string
-	Run func(Scale) *stats.Table
-} {
-	return []struct {
-		ID  string
-		Run func(Scale) *stats.Table
-	}{
-		{"E1", E1AMFQuality},
-		{"E2", E2AMFRounds},
-		{"E3", E3DirectLevel},
-		{"E4", E4Height},
-		{"E5", E5WorkingSetProperty},
-		{"E6", E6RoutingVsWS},
-		{"E7", E7TotalCostVsWS},
-		{"E8", E8Comparison},
-		{"E9", E9TemporalSweep},
-		{"E10", E10WorstCase},
-		{"E11", E11BalanceAblation},
-		{"E12", E12SimValidation},
-	}
 }

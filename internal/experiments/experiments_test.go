@@ -13,7 +13,7 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 		t.Skip("experiments are slow")
 	}
 	sc := Quick()
-	for _, e := range All() {
+	for _, e := range Registry() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
 			table := e.Run(sc)

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// GridConfig drives one reproducible grid run over a set of registered
+// experiments: every experiment executes Repeats times at the given Scale,
+// and the aggregated results land in OutDir as one CSV plus one JSON per
+// experiment and a BENCH_dsgexp.json summary.
+type GridConfig struct {
+	RunConfig
+	// Experiments is the selection to run (from Select/Registry).
+	Experiments []Experiment
+	// OutDir receives the result files; it is created if missing.
+	OutDir string
+	// ScaleName labels the scale ("quick"/"full") in the summary.
+	ScaleName string
+	// Parallelism bounds the number of experiments running concurrently;
+	// values < 1 mean min(GOMAXPROCS, len(Experiments)). Each experiment is
+	// seeded independently (see seedFor), so concurrency never changes the
+	// results — only the wall-clock time.
+	Parallelism int
+	// Progress, when non-nil, receives one line per completed experiment.
+	Progress func(format string, args ...interface{})
+}
+
+// GridEntry is one experiment's line in the BENCH_dsgexp.json summary.
+type GridEntry struct {
+	ID             string  `json:"id"`
+	Name           string  `json:"name"`
+	PaperRef       string  `json:"paper_ref"`
+	Rows           int     `json:"rows"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	CSV            string  `json:"csv"`
+	JSON           string  `json:"json"`
+	Error          string  `json:"error,omitempty"`
+}
+
+// GridSummary is the top-level BENCH_dsgexp.json document: the
+// machine-readable record of one grid run that CI and later PRs diff to
+// track the performance trajectory.
+type GridSummary struct {
+	Tool           string      `json:"tool"`
+	GoVersion      string      `json:"go_version"`
+	ScaleName      string      `json:"scale"`
+	Scale          ScaleInfo   `json:"scale_params"`
+	BaseSeed       int64       `json:"base_seed"`
+	Repeats        int         `json:"repeats"`
+	Experiments    []GridEntry `json:"experiments"`
+	Failed         int         `json:"failed"`
+	TotalSeconds   float64     `json:"total_seconds"`
+	StartedAtUnix  int64       `json:"started_at_unix"`
+	FinishedAtUnix int64       `json:"finished_at_unix"`
+}
+
+// SummaryFileName is the name of the grid summary written into OutDir.
+const SummaryFileName = "BENCH_dsgexp.json"
+
+// fileStem names the per-experiment output files: "E8-comparison".
+func fileStem(e Experiment) string { return e.ID + "-" + e.Name }
+
+// RunGrid executes the configured grid and writes all result files. It
+// returns the summary; an experiment that fails is recorded in the summary
+// (Error set, Failed incremented) without aborting the others. A non-nil
+// error means the grid itself could not run (bad config, unwritable OutDir).
+func RunGrid(cfg GridConfig) (*GridSummary, error) {
+	if len(cfg.Experiments) == 0 {
+		return nil, fmt.Errorf("experiments: grid has no experiments")
+	}
+	if cfg.OutDir == "" {
+		return nil, fmt.Errorf("experiments: grid needs an output directory")
+	}
+	if err := os.MkdirAll(cfg.OutDir, 0o755); err != nil {
+		return nil, err
+	}
+	par := cfg.Parallelism
+	if par < 1 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(cfg.Experiments) {
+		par = len(cfg.Experiments)
+	}
+
+	start := time.Now()
+	entries := make([]GridEntry, len(cfg.Experiments))
+	var (
+		wg  sync.WaitGroup
+		mu  sync.Mutex // guards Progress
+		sem = make(chan struct{}, par)
+	)
+	for i, e := range cfg.Experiments {
+		wg.Add(1)
+		go func(i int, e Experiment) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			entries[i] = runGridEntry(e, cfg)
+			if cfg.Progress != nil {
+				mu.Lock()
+				if entries[i].Error != "" {
+					cfg.Progress("%-4s FAILED: %s", e.ID, entries[i].Error)
+				} else {
+					cfg.Progress("%-4s %-22s %4d rows  %6.1fs  [%s]",
+						e.ID, e.Name, entries[i].Rows, entries[i].ElapsedSeconds, e.PaperRef)
+				}
+				mu.Unlock()
+			}
+		}(i, e)
+	}
+	wg.Wait()
+
+	summary := &GridSummary{
+		Tool:      "dsgexp",
+		GoVersion: runtime.Version(),
+		ScaleName: cfg.ScaleName,
+		Scale: ScaleInfo{
+			Sizes:    cfg.Scale.Sizes,
+			Requests: cfg.Scale.Requests,
+			Trials:   cfg.Scale.Trials,
+		},
+		BaseSeed:       cfg.Scale.Seed,
+		Repeats:        cfg.repeats(),
+		Experiments:    entries,
+		TotalSeconds:   time.Since(start).Seconds(),
+		StartedAtUnix:  start.Unix(),
+		FinishedAtUnix: time.Now().Unix(),
+	}
+	for _, en := range entries {
+		if en.Error != "" {
+			summary.Failed++
+		}
+	}
+	if err := writeJSON(filepath.Join(cfg.OutDir, SummaryFileName), summary); err != nil {
+		return nil, err
+	}
+	return summary, nil
+}
+
+// runGridEntry runs one experiment and writes its CSV + JSON files.
+func runGridEntry(e Experiment, cfg GridConfig) GridEntry {
+	entry := GridEntry{ID: e.ID, Name: e.Name, PaperRef: e.PaperRef}
+	res, err := Run(e, cfg.RunConfig)
+	if err != nil {
+		entry.Error = err.Error()
+		return entry
+	}
+	stem := fileStem(e)
+	entry.CSV = stem + ".csv"
+	entry.JSON = stem + ".json"
+	entry.Rows = res.Table.NumRows()
+	entry.ElapsedSeconds = res.Elapsed.Seconds()
+
+	csvFile, err := os.Create(filepath.Join(cfg.OutDir, entry.CSV))
+	if err == nil {
+		err = res.Table.WriteCSV(csvFile)
+		if cerr := csvFile.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err == nil {
+		err = writeJSON(filepath.Join(cfg.OutDir, entry.JSON), res.Report(cfg.RunConfig))
+	}
+	if err != nil {
+		entry.Error = err.Error()
+	}
+	return entry
+}
+
+// writeJSON writes v as indented JSON with a trailing newline.
+func writeJSON(path string, v interface{}) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

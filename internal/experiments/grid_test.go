@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lsasg/internal/stats"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// gridQuickSeed1 runs the grid that the acceptance criteria pin down:
+// dsgexp -quick -seed 1, restricted to the given experiments.
+func gridQuickSeed1(t *testing.T, dir string, ids string) *GridSummary {
+	t.Helper()
+	sc := Quick()
+	sc.Seed = 1
+	selected, err := Select(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := RunGrid(GridConfig{
+		RunConfig:   RunConfig{Scale: sc},
+		Experiments: selected,
+		OutDir:      dir,
+		ScaleName:   "quick",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sum
+}
+
+// TestGridGoldenCSV asserts that `dsgexp -quick -seed 1` produces
+// byte-stable CSV output by pinning E1's CSV to a checked-in golden file.
+// Regenerate with `go test ./internal/experiments -run Golden -update`
+// after an intentional change to the experiment or the emitters.
+func TestGridGoldenCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	dir := t.TempDir()
+	gridQuickSeed1(t, dir, "E1")
+	got, err := os.ReadFile(filepath.Join(dir, "E1-amf-quality.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "E1-amf-quality.quick-seed1.csv")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("E1 CSV drifted from golden file %s:\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+}
+
+// TestGridDeterministic runs the same two-experiment grid twice and
+// requires identical CSV bytes — the reproducibility contract of dsgexp.
+func TestGridDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	dir1, dir2 := t.TempDir(), t.TempDir()
+	gridQuickSeed1(t, dir1, "E1,E12")
+	gridQuickSeed1(t, dir2, "E1,E12")
+	for _, name := range []string{"E1-amf-quality.csv", "E12-sim-validation.csv"} {
+		a, err := os.ReadFile(filepath.Join(dir1, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dir2, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Errorf("%s differs between identically seeded runs", name)
+		}
+	}
+}
+
+// TestGridOutputs checks the summary document and the per-experiment JSON.
+func TestGridOutputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	dir := t.TempDir()
+	sum := gridQuickSeed1(t, dir, "E12")
+	if sum.Failed != 0 || len(sum.Experiments) != 1 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	en := sum.Experiments[0]
+	if en.ID != "E12" || en.CSV != "E12-sim-validation.csv" || en.Rows < 1 {
+		t.Errorf("entry = %+v", en)
+	}
+
+	var onDisk GridSummary
+	data, err := os.ReadFile(filepath.Join(dir, SummaryFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &onDisk); err != nil {
+		t.Fatal(err)
+	}
+	if onDisk.Tool != "dsgexp" || onDisk.ScaleName != "quick" || onDisk.BaseSeed != 1 {
+		t.Errorf("summary on disk = %+v", onDisk)
+	}
+
+	var rep Report
+	data, err = os.ReadFile(filepath.Join(dir, en.JSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "E12" || rep.PaperRef == "" || rep.Table == nil || rep.Table.NumRows() != rep.Rows {
+		t.Errorf("report on disk = %+v", rep)
+	}
+}
+
+// TestGridRecordsFailure ensures one failing experiment doesn't abort the
+// grid and is recorded in the summary.
+func TestGridRecordsFailure(t *testing.T) {
+	boom := Experiment{ID: "EX", Name: "boom", Description: "d", PaperRef: "p",
+		Run: func(Scale) *stats.Table { panic("boom") }}
+	e12, _ := ByID("E12")
+	sc := Quick()
+	sc.Seed = 1
+	dir := t.TempDir()
+	sum, err := RunGrid(GridConfig{
+		RunConfig:   RunConfig{Scale: sc},
+		Experiments: []Experiment{boom, e12},
+		OutDir:      dir,
+		ScaleName:   "quick",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Failed != 1 {
+		t.Errorf("failed = %d, want 1", sum.Failed)
+	}
+	if sum.Experiments[0].Error == "" {
+		t.Error("failing experiment should record its error")
+	}
+	if sum.Experiments[1].Error != "" || sum.Experiments[1].Rows < 1 {
+		t.Errorf("healthy experiment should still complete: %+v", sum.Experiments[1])
+	}
+}

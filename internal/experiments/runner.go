@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"lsasg/internal/stats"
+)
+
+// RunConfig controls one registry execution by the runner.
+type RunConfig struct {
+	// Scale is the experiment scale (Quick or Full, typically). Its Seed
+	// field is the base seed; the runner derives per-experiment, per-repeat
+	// seeds from it (see seedFor).
+	Scale Scale
+	// Repeats is the number of independent repetitions per experiment
+	// (each with its own derived seed); results are aggregated into
+	// mean/stddev columns. Values < 1 are treated as 1.
+	Repeats int
+}
+
+// repeats returns the effective repetition count (Repeats clamped to ≥ 1).
+func (c RunConfig) repeats() int {
+	if c.Repeats < 1 {
+		return 1
+	}
+	return c.Repeats
+}
+
+// RunResult is the outcome of running one experiment under a RunConfig.
+// Report is its wire form.
+type RunResult struct {
+	Experiment Experiment
+	Seeds      []int64        // one derived seed per repeat
+	Table      *stats.Table   // aggregated over repeats
+	Repeats    []*stats.Table // per-repeat raw tables
+	Elapsed    time.Duration
+}
+
+// seedFor derives the seed for one (experiment, repeat) cell. Each
+// experiment gets its own deterministic stream (an FNV offset of its id) so
+// adding or filtering experiments never shifts another experiment's
+// randomness, and each repeat advances the stream by one.
+func seedFor(base int64, id string, repeat int) int64 {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return base + int64(h.Sum32()%1_000_003)*1_000 + int64(repeat)
+}
+
+// Run executes one experiment Repeats times and aggregates the results.
+// Panics inside experiment code are converted to errors so a single failing
+// experiment cannot take down a whole grid run.
+func Run(e Experiment, cfg RunConfig) (res *RunResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("experiments: %s panicked: %v", e.ID, r)
+		}
+	}()
+	res = &RunResult{Experiment: e}
+	start := time.Now()
+	for rep := 0; rep < cfg.repeats(); rep++ {
+		sc := cfg.Scale
+		sc.Seed = seedFor(cfg.Scale.Seed, e.ID, rep)
+		res.Seeds = append(res.Seeds, sc.Seed)
+		res.Repeats = append(res.Repeats, e.Run(sc))
+	}
+	res.Table, err = stats.Aggregate(res.Repeats)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", e.ID, err)
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// Report is the machine-readable per-experiment record written as
+// <id>.json by cmd/dsgexp; BENCH_dsgexp.json aggregates one summary line
+// per experiment.
+type Report struct {
+	ID             string       `json:"id"`
+	Name           string       `json:"name"`
+	Description    string       `json:"description"`
+	PaperRef       string       `json:"paper_ref"`
+	Scale          ScaleInfo    `json:"scale"`
+	BaseSeed       int64        `json:"base_seed"`
+	Seeds          []int64      `json:"seeds"`
+	RepeatCount    int          `json:"repeats"`
+	Rows           int          `json:"rows"`
+	ElapsedSeconds float64      `json:"elapsed_seconds"`
+	Table          *stats.Table `json:"table"`
+}
+
+// ScaleInfo is the wire form of Scale (everything but the derived seeds).
+type ScaleInfo struct {
+	Sizes    []int `json:"sizes"`
+	Requests int   `json:"requests"`
+	Trials   int   `json:"trials"`
+}
+
+// Report converts a RunResult into its wire form.
+func (r *RunResult) Report(cfg RunConfig) Report {
+	return Report{
+		ID:          r.Experiment.ID,
+		Name:        r.Experiment.Name,
+		Description: r.Experiment.Description,
+		PaperRef:    r.Experiment.PaperRef,
+		Scale: ScaleInfo{
+			Sizes:    cfg.Scale.Sizes,
+			Requests: cfg.Scale.Requests,
+			Trials:   cfg.Scale.Trials,
+		},
+		BaseSeed:       cfg.Scale.Seed,
+		Seeds:          r.Seeds,
+		RepeatCount:    len(r.Seeds),
+		Rows:           r.Table.NumRows(),
+		ElapsedSeconds: r.Elapsed.Seconds(),
+		Table:          r.Table,
+	}
+}

@@ -1,11 +1,3 @@
-// Package sim is a synchronous round-based message-passing simulator for
-// the CONGEST model the paper assumes (§III): computation proceeds in
-// rounds; per round a node may send at most one message over each link,
-// and every message is limited to O(log n) bits. The package hosts
-// genuinely distributed executions of the building blocks (skip-graph
-// routing, the skip-list gather/sum behind AMF) whose measured round
-// counts validate the analytical round accounting used by the sequential
-// DSG implementation (experiment E12 in EXPERIMENTS.md).
 package sim
 
 import "fmt"

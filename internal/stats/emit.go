@@ -1,0 +1,225 @@
+package stats
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// This file holds the machine-readable emitters for Table: CSV and JSON
+// output plus the repeat aggregator used by cmd/dsgexp. CSV cells are
+// formatted deterministically (full-precision 'g' floats), so two runs with
+// the same seed produce byte-identical files.
+
+// csvCell formats one raw cell for CSV/JSON-stable output.
+func csvCell(c interface{}) string {
+	switch v := c.(type) {
+	case float64:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	case float32:
+		return strconv.FormatFloat(float64(v), 'g', -1, 32)
+	case bool:
+		return strconv.FormatBool(v)
+	default:
+		return fmt.Sprintf("%v", c)
+	}
+}
+
+// WriteCSV writes the table as RFC-4180 CSV: one header row with the column
+// names followed by the data rows. The title is not included; it lives in
+// the JSON emitter and the file name.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.raw {
+		rec := make([]string, len(row))
+		for i, c := range row {
+			rec[i] = csvCell(c)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CSV renders the table to a CSV string.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	if err := t.WriteCSV(&sb); err != nil {
+		panic(err) // strings.Builder never errors; csv only errors on bad field counts
+	}
+	return sb.String()
+}
+
+// tableJSON is the wire form of a Table.
+type tableJSON struct {
+	Title   string          `json:"title"`
+	Columns []string        `json:"columns"`
+	Rows    [][]interface{} `json:"rows"`
+}
+
+// MarshalJSON encodes the table as {title, columns, rows} with typed cells
+// (numbers stay numbers, bools stay bools).
+func (t *Table) MarshalJSON() ([]byte, error) {
+	rows := t.raw
+	if rows == nil {
+		rows = [][]interface{}{}
+	}
+	return json.Marshal(tableJSON{Title: t.Title, Columns: t.Columns, Rows: rows})
+}
+
+// UnmarshalJSON decodes a table previously written by MarshalJSON.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var tj tableJSON
+	if err := json.Unmarshal(data, &tj); err != nil {
+		return err
+	}
+	t.Title = tj.Title
+	t.Columns = tj.Columns
+	t.rows = nil
+	t.raw = nil
+	for _, row := range tj.Rows {
+		t.AddRow(row...)
+	}
+	return nil
+}
+
+// asFloat reports whether c is numeric and converts it.
+func asFloat(c interface{}) (float64, bool) {
+	switch v := c.(type) {
+	case float64:
+		return v, true
+	case float32:
+		return float64(v), true
+	case int:
+		return float64(v), true
+	case int8:
+		return float64(v), true
+	case int16:
+		return float64(v), true
+	case int32:
+		return float64(v), true
+	case int64:
+		return float64(v), true
+	case uint:
+		return float64(v), true
+	case uint8:
+		return float64(v), true
+	case uint16:
+		return float64(v), true
+	case uint32:
+		return float64(v), true
+	case uint64:
+		return float64(v), true
+	default:
+		return 0, false
+	}
+}
+
+// Aggregate combines k same-shape tables — the per-repeat outputs of one
+// experiment — into a single table. Numeric columns are replaced by a
+// mean column (same name) plus a "<name> sd" sample-stddev column; boolean
+// columns become the conjunction across repeats (a bound that failed in any
+// repeat reports false); string columns must agree across repeats (they are
+// the row keys: n, workload name, …) and are passed through.
+//
+// Aggregating a single table returns it unchanged.
+func Aggregate(tables []*Table) (*Table, error) {
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("stats: no tables to aggregate")
+	}
+	first := tables[0]
+	if len(tables) == 1 {
+		return first, nil
+	}
+	for i, t := range tables[1:] {
+		if len(t.Columns) != len(first.Columns) || t.NumRows() != first.NumRows() {
+			return nil, fmt.Errorf("stats: repeat %d has shape %dx%d, want %dx%d",
+				i+1, t.NumRows(), len(t.Columns), first.NumRows(), len(first.Columns))
+		}
+	}
+	if first.NumRows() == 0 {
+		return first, nil
+	}
+
+	// Classify each column by the first table's first row.
+	numeric := make([]bool, len(first.Columns))
+	boolean := make([]bool, len(first.Columns))
+	for j := range first.Columns {
+		c := first.Row(0)[j]
+		if _, ok := asFloat(c); ok {
+			numeric[j] = true
+		} else if _, ok := c.(bool); ok {
+			boolean[j] = true
+		}
+	}
+
+	cols := make([]string, 0, 2*len(first.Columns))
+	for j, name := range first.Columns {
+		cols = append(cols, name)
+		if numeric[j] {
+			cols = append(cols, name+" sd")
+		}
+	}
+	out := NewTable(first.Title, cols...)
+	k := float64(len(tables))
+	for i := 0; i < first.NumRows(); i++ {
+		row := make([]interface{}, 0, len(cols))
+		for j := range first.Columns {
+			switch {
+			case numeric[j]:
+				var sum, sumSq float64
+				for _, t := range tables {
+					x, ok := asFloat(t.Row(i)[j])
+					if !ok {
+						return nil, fmt.Errorf("stats: column %q row %d: non-numeric cell %v",
+							first.Columns[j], i, t.Row(i)[j])
+					}
+					sum += x
+					sumSq += x * x
+				}
+				mean := sum / k
+				variance := sumSq/k - mean*mean
+				if variance < 0 {
+					variance = 0
+				}
+				// Sample stddev (n-1) so two identical repeats report 0.
+				sd := 0.0
+				if k > 1 {
+					sd = math.Sqrt(variance * k / (k - 1))
+				}
+				row = append(row, mean, sd)
+			case boolean[j]:
+				all := true
+				for _, t := range tables {
+					b, ok := t.Row(i)[j].(bool)
+					if !ok {
+						return nil, fmt.Errorf("stats: column %q row %d: non-bool cell %v",
+							first.Columns[j], i, t.Row(i)[j])
+					}
+					all = all && b
+				}
+				row = append(row, all)
+			default:
+				want := csvCell(first.Row(i)[j])
+				for _, t := range tables {
+					if got := csvCell(t.Row(i)[j]); got != want {
+						return nil, fmt.Errorf("stats: key column %q row %d differs across repeats: %q vs %q",
+							first.Columns[j], i, want, got)
+					}
+				}
+				row = append(row, first.Row(i)[j])
+			}
+		}
+		out.AddRow(row...)
+	}
+	return out, nil
+}

@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func demoTable(shift float64) *Table {
+	t := NewTable("E0 — demo", "n", "workload", "mean dist", "ok")
+	t.AddRow(32, "uniform", 3.25+shift, true)
+	t.AddRow(64, "zipf(s=1.20)", 4.5+shift, true)
+	return t
+}
+
+func TestTableCSV(t *testing.T) {
+	got := demoTable(0).CSV()
+	want := "n,workload,mean dist,ok\n" +
+		"32,uniform,3.25,true\n" +
+		"64,zipf(s=1.20),4.5,true\n"
+	if got != want {
+		t.Errorf("CSV:\n%s\nwant:\n%s", got, want)
+	}
+	// Byte stability: the same table must render identically every time.
+	if again := demoTable(0).CSV(); again != got {
+		t.Error("CSV output is not deterministic")
+	}
+}
+
+func TestTableCSVFullPrecision(t *testing.T) {
+	tb := NewTable("", "x")
+	tb.AddRow(1.0 / 3.0)
+	if got := tb.CSV(); !strings.Contains(got, "0.3333333333333333") {
+		t.Errorf("CSV should keep full float precision, got %q", got)
+	}
+}
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	tb := demoTable(0)
+	data, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{`"title":"E0 — demo"`, `"columns":["n","workload","mean dist","ok"]`, `3.25`, `true`} {
+		if !strings.Contains(string(data), frag) {
+			t.Errorf("JSON %s lacks %s", data, frag)
+		}
+	}
+	var back Table
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Title != tb.Title || back.NumRows() != tb.NumRows() {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	// JSON numbers decode as float64; CSV form must still agree cell-for-cell.
+	if back.CSV() != tb.CSV() {
+		t.Errorf("round-tripped CSV differs:\n%s\nvs\n%s", back.CSV(), tb.CSV())
+	}
+}
+
+func TestTableJSONEmpty(t *testing.T) {
+	data, err := json.Marshal(NewTable("empty", "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"rows":[]`) {
+		t.Errorf("empty table should marshal rows as [], got %s", data)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	agg, err := Aggregate([]*Table{demoTable(0), demoTable(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCols := []string{"n", "n sd", "workload", "mean dist", "mean dist sd", "ok"}
+	if len(agg.Columns) != len(wantCols) {
+		t.Fatalf("columns = %v, want %v", agg.Columns, wantCols)
+	}
+	for i, c := range wantCols {
+		if agg.Columns[i] != c {
+			t.Fatalf("columns = %v, want %v", agg.Columns, wantCols)
+		}
+	}
+	row := agg.Row(0) // n, n sd, workload, mean, sd, ok
+	if m, _ := asFloat(row[3]); m != 3.75 {
+		t.Errorf("mean = %v, want 3.75", row[3])
+	}
+	// Sample stddev of {3.25, 4.25} is sqrt(0.5) ≈ 0.7071.
+	if sd, _ := asFloat(row[4]); sd < 0.707 || sd > 0.708 {
+		t.Errorf("stddev = %v, want ~0.7071", row[4])
+	}
+	if ok, isBool := row[5].(bool); !isBool || !ok {
+		t.Errorf("ok column = %v, want true", row[5])
+	}
+}
+
+func TestAggregateSingle(t *testing.T) {
+	tb := demoTable(0)
+	agg, err := Aggregate([]*Table{tb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg != tb {
+		t.Error("aggregating one table should return it unchanged")
+	}
+}
+
+func TestAggregateBoolConjunction(t *testing.T) {
+	a := NewTable("", "ok")
+	a.AddRow(true)
+	b := NewTable("", "ok")
+	b.AddRow(false)
+	agg, err := Aggregate([]*Table{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok := agg.Row(0)[0].(bool); ok {
+		t.Error("a bound failing in any repeat must report false")
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	if _, err := Aggregate(nil); err == nil {
+		t.Error("empty input should error")
+	}
+	a := NewTable("", "x")
+	a.AddRow(1)
+	b := NewTable("", "x", "y")
+	b.AddRow(1, 2)
+	if _, err := Aggregate([]*Table{a, b}); err == nil {
+		t.Error("shape mismatch should error")
+	}
+	c := NewTable("", "w")
+	c.AddRow("uniform")
+	d := NewTable("", "w")
+	d.AddRow("zipf")
+	if _, err := Aggregate([]*Table{c, d}); err == nil {
+		t.Error("diverging key column should error")
+	}
+}

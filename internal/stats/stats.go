@@ -1,6 +1,3 @@
-// Package stats provides the small statistical toolkit used by the
-// experiment harness: summaries, percentiles, histograms, and linear fits.
-// It deliberately avoids any external dependency.
 package stats
 
 import (
@@ -9,16 +6,17 @@ import (
 	"sort"
 )
 
-// Summary holds descriptive statistics of a sample.
+// Summary holds descriptive statistics of a sample. The JSON tags give it a
+// stable wire form for the experiment-runner output files.
 type Summary struct {
-	N      int
-	Mean   float64
-	Stddev float64
-	Min    float64
-	Max    float64
-	P50    float64
-	P90    float64
-	P99    float64
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	P50    float64 `json:"p50"`
+	P90    float64 `json:"p90"`
+	P99    float64 `json:"p99"`
 }
 
 // Summarize computes a Summary of xs. It returns a zero Summary when xs is

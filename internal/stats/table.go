@@ -7,11 +7,15 @@ import (
 )
 
 // Table accumulates rows and renders an aligned plain-text table, the output
-// format used by cmd/dsgbench to regenerate the experiment tables.
+// format used by cmd/dsgbench to regenerate the experiment tables. It keeps
+// the raw (typed) cell values alongside the display strings so the CSV/JSON
+// emitters in emit.go and the repeat aggregator can work on full-precision
+// data.
 type Table struct {
 	Title   string
 	Columns []string
 	rows    [][]string
+	raw     [][]interface{}
 }
 
 // NewTable creates a table with the given title and column headers.
@@ -31,7 +35,14 @@ func (t *Table) AddRow(cells ...interface{}) {
 		}
 	}
 	t.rows = append(t.rows, row)
+	t.raw = append(t.raw, append([]interface{}(nil), cells...))
 }
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.raw) }
+
+// Row returns the raw (typed) cells of row i.
+func (t *Table) Row(i int) []interface{} { return t.raw[i] }
 
 func formatFloat(v float64) string {
 	switch {

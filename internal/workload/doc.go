@@ -1,0 +1,15 @@
+// Package workload generates communication-request sequences used to drive
+// self-adjusting topologies. All generators are deterministic for a given
+// seed so experiments are reproducible.
+//
+// A request is a (source, destination) pair of node indices in [0, n). The
+// generators cover the traffic classes the paper's introduction motivates:
+// uniform (no skew to exploit), Zipf-skewed, repeated pairs, temporally
+// local ("working set") traffic, community-clustered traffic, and an
+// adversarial uniform permutation schedule. Suite returns the canonical
+// battery used by the comparison experiments.
+//
+// Generators with tunable knobs also implement Parameterized, exposing
+// their parameters as a map for machine-readable experiment output;
+// Describe renders a generator with its full configuration.
+package workload

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Parameterized is implemented by generators with tunable knobs. The knob
+// map feeds the machine-readable experiment output so result rows carry the
+// full workload configuration, not just a display name.
+type Parameterized interface {
+	// Params returns the generator's knobs (excluding the seed).
+	Params() map[string]float64
+}
+
+// Params implements Parameterized (no knobs besides the seed).
+func (Uniform) Params() map[string]float64 { return map[string]float64{} }
+
+// Params implements Parameterized.
+func (g Zipf) Params() map[string]float64 { return map[string]float64{"s": g.S} }
+
+// Params implements Parameterized.
+func (g RepeatedPairs) Params() map[string]float64 {
+	return map[string]float64{"k": float64(g.K), "hot": g.Hot}
+}
+
+// Params implements Parameterized.
+func (g Temporal) Params() map[string]float64 {
+	return map[string]float64{"w": float64(g.W), "churn": g.Churn}
+}
+
+// Params implements Parameterized.
+func (g Clustered) Params() map[string]float64 {
+	return map[string]float64{"c": float64(g.C), "local": g.Local}
+}
+
+// Params implements Parameterized (the schedule is fully seed-determined).
+func (Adversarial) Params() map[string]float64 { return map[string]float64{} }
+
+// ParamString renders a generator's knobs as a canonical "k1=v1 k2=v2"
+// string with sorted keys (empty for knob-free generators). Experiment
+// result rows carry it next to the display name so output files record the
+// full workload configuration.
+func ParamString(g Generator) string {
+	p, ok := g.(Parameterized)
+	if !ok {
+		return ""
+	}
+	params := p.Params()
+	if len(params) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%g", k, params[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+// Describe renders a generator as "name" or "name{k1=v1 k2=v2}" for logs
+// and result metadata.
+func Describe(g Generator) string {
+	ps := ParamString(g)
+	if ps == "" {
+		return g.Name()
+	}
+	return fmt.Sprintf("%s{%s}", g.Name(), ps)
+}
+
+// Suite returns the canonical battery of generators used by the comparison
+// experiments (E6, E8): one representative of every traffic class the
+// paper's introduction motivates, all deterministic for the given seed.
+func Suite(seed int64) []Generator {
+	return []Generator{
+		Uniform{Seed: seed},
+		Zipf{Seed: seed, S: 1.2},
+		Zipf{Seed: seed, S: 1.6},
+		RepeatedPairs{Seed: seed, K: 4, Hot: 0.9},
+		Temporal{Seed: seed, W: 8, Churn: 0.1},
+		Clustered{Seed: seed, C: 8, Local: 0.9},
+		Adversarial{Seed: seed},
+	}
+}
