@@ -127,3 +127,39 @@ func TestSplayNetPanicsOnTinyN(t *testing.T) {
 	}()
 	NewSplayNet(1)
 }
+
+// TestStaticChurn exercises the dynamic membership path: joins and leaves
+// keep the topology verifiable and routable between surviving ids.
+func TestStaticChurn(t *testing.T) {
+	s := NewStatic(16, 3)
+	for i := 0; i < 8; i++ {
+		if err := s.Join(int64(16 + i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Leave(int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Graph().Verify(); err != nil {
+		t.Fatalf("after churn: %v", err)
+	}
+	if got := s.Graph().RealN(); got != 16 {
+		t.Errorf("population %d after balanced churn, want 16", got)
+	}
+	d, err := s.RouteIDs(8, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 0 {
+		t.Errorf("distance %d", d)
+	}
+	if err := s.Join(8); err == nil {
+		t.Error("double join should fail")
+	}
+	if err := s.Leave(0); err == nil {
+		t.Error("leave of departed node should fail")
+	}
+	if _, err := s.RouteIDs(0, 8); err == nil {
+		t.Error("route from departed node should fail")
+	}
+}

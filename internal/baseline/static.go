@@ -8,15 +8,23 @@ import (
 
 // Static is a random skip graph that routes but never adapts. It is the
 // "no self-adjustment" baseline: every request costs the full skip-graph
-// routing distance regardless of the communication pattern.
+// routing distance regardless of the communication pattern. Membership can
+// still change — Join and Leave perform the standard skip-graph node
+// insertion/removal with random membership bits (Aspnes-Shah §5) — the
+// topology just never adapts to traffic.
 type Static struct {
-	g *skipgraph.Graph
-	n int
+	g        *skipgraph.Graph
+	n        int
+	brancher skipgraph.Brancher
 }
 
 // NewStatic builds a static skip graph over n nodes.
 func NewStatic(n int, seed int64) *Static {
-	return &Static{g: skipgraph.NewRandom(n, seed), n: n}
+	return &Static{
+		g:        skipgraph.NewRandom(n, seed),
+		n:        n,
+		brancher: skipgraph.RandomBrancher(seed + 1),
+	}
 }
 
 // N returns the node count.
@@ -36,6 +44,37 @@ func (s *Static) Request(src, dst int) (int, error) {
 		return 0, err
 	}
 	return route.Distance(), nil
+}
+
+// RouteIDs routes between two live node identifiers (key = id), the
+// id-addressed form used by dynamic workload traces.
+func (s *Static) RouteIDs(src, dst int64) (int, error) {
+	route, err := s.g.RouteKeys(skipgraph.KeyOf(src), skipgraph.KeyOf(dst))
+	if err != nil {
+		return 0, err
+	}
+	return route.Distance(), nil
+}
+
+// Join adds a node with the given identifier via the standard skip-graph
+// join with random membership bits.
+func (s *Static) Join(id int64) error {
+	if s.g.ByKey(skipgraph.KeyOf(id)) != nil {
+		return fmt.Errorf("baseline: node %d already present", id)
+	}
+	s.g.Insert(skipgraph.KeyOf(id), id, s.brancher)
+	s.n++
+	return nil
+}
+
+// Leave removes the node with the given identifier (standard skip-graph
+// leave).
+func (s *Static) Leave(id int64) error {
+	if s.g.Remove(skipgraph.KeyOf(id)) == nil {
+		return fmt.Errorf("baseline: node %d not present", id)
+	}
+	s.n--
+	return nil
 }
 
 // Graph exposes the underlying topology for verification in tests.

@@ -1,10 +1,6 @@
 package core
 
-import (
-	"math"
-
-	"lsasg/internal/skipgraph"
-)
+import "lsasg/internal/skipgraph"
 
 // repairBalance scans the freshly split list L (level dl) for runs of more
 // than `a` consecutive members assigned to the same side and breaks each by
@@ -85,17 +81,10 @@ func (d *DSG) makeDummy(ctx *transformCtx, left, right *skipgraph.Node, dl int, 
 	return dm, true
 }
 
-// freeKeyBetween finds an unused key strictly between a and b, preferring
-// minor slots right after a.
+// freeKeyBetween finds a key strictly between a and b that is neither in
+// the graph nor reserved for a dummy created earlier this request.
 func (d *DSG) freeKeyBetween(ctx *transformCtx, a, b skipgraph.Key) (skipgraph.Key, bool) {
-	for minor := a.Minor + 1; minor < math.MaxInt32; minor++ {
-		k := skipgraph.Key{Primary: a.Primary, Minor: minor}
-		if !k.Less(b) {
-			return skipgraph.Key{}, false
-		}
-		if d.g.ByKey(k) == nil && !ctx.pendingKeys[k] {
-			return k, true
-		}
-	}
-	return skipgraph.Key{}, false
+	return freeKeyIn(a, b, func(k skipgraph.Key) bool {
+		return d.g.ByKey(k) != nil || ctx.pendingKeys[k]
+	})
 }

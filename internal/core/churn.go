@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+
+	"lsasg/internal/workload"
+)
+
+// TraceOptions controls how a DSG consumes a workload trace.
+type TraceOptions struct {
+	// ValidateEvery runs the full-graph validator after every k-th event
+	// (1 = after every event); 0 disables validation. A violation aborts
+	// the run with the offending event in the error.
+	ValidateEvery int
+	// OnEvent, when non-nil, observes every applied event and its cost.
+	OnEvent func(i int, ev workload.Event, cost EventCost)
+}
+
+// EventCost is the cost of one applied trace event in the paper's measures.
+type EventCost struct {
+	// RouteDistance and TransformRounds are set for route events (§III).
+	RouteDistance   int
+	TransformRounds int
+	// RepairDummies counts the a-balance repair actions (dummy insertions
+	// plus removals) the event triggered — §IV-G's adjustment cost for
+	// joins/leaves, plus the sweep that fixes violations a transformation
+	// leaked outside its region.
+	RepairDummies int
+}
+
+// TraceStats aggregates one trace run. Adjustment cost covers both the
+// self-adjusting transformations (rounds) and the membership repairs
+// (dummies inserted to restore a-balance after joins/leaves).
+type TraceStats struct {
+	Routes, Joins, Leaves int
+
+	RouteDistance   int // Σ d_S(σ) over route events
+	TransformRounds int // Σ ρ over route events
+	RepairDummies   int // Σ balance-repair actions over all events
+	RouteRepairs    int // repair actions attributable to route events
+	ChurnRepairs    int // repair actions attributable to joins/leaves
+
+	MaxHeight   int // highest graph height observed after any event
+	Validations int // number of full-graph validations performed
+}
+
+// MeanRouteDistance returns the mean routing distance per route event.
+func (s TraceStats) MeanRouteDistance() float64 {
+	if s.Routes == 0 {
+		return 0
+	}
+	return float64(s.RouteDistance) / float64(s.Routes)
+}
+
+// MeanTransformRounds returns the mean transformation rounds per route.
+func (s TraceStats) MeanTransformRounds() float64 {
+	if s.Routes == 0 {
+		return 0
+	}
+	return float64(s.TransformRounds) / float64(s.Routes)
+}
+
+// RepairDummiesPerChurn returns the mean balance-repair actions per
+// membership event.
+func (s TraceStats) RepairDummiesPerChurn() float64 {
+	if s.Joins+s.Leaves == 0 {
+		return 0
+	}
+	return float64(s.ChurnRepairs) / float64(s.Joins+s.Leaves)
+}
+
+// RepairDummiesPerRoute returns the mean balance-repair actions per route
+// event.
+func (s TraceStats) RepairDummiesPerRoute() float64 {
+	if s.Routes == 0 {
+		return 0
+	}
+	return float64(s.RouteRepairs) / float64(s.Routes)
+}
+
+// RunTrace consumes a dynamic workload: route events are served through the
+// full self-adjusting machinery (§IV-C–F), joins and leaves go through the
+// membership path with a-balance repair (§IV-G), and the per-node DSG state
+// (timestamps, groups, bases) persists across membership changes — a join
+// or leave never resets the working-set structure the previous routes
+// built. The runner owns the *global* a-balance property: a transformation
+// only repairs the region it touched (its dummies can extend runs below
+// alpha, and a destroyed dummy may have been breaking a lower chain), so
+// after every route the runner restores balance across the whole graph.
+// Before the first event it does the same once, so the validator's
+// guarantees hold from event zero even on the random initial topology.
+func (d *DSG) RunTrace(tr workload.Trace, opts TraceOptions) (TraceStats, error) {
+	var st TraceStats
+	d.RepairBalance()
+	if opts.ValidateEvery > 0 {
+		if err := d.Validate(); err != nil {
+			return st, fmt.Errorf("core: invalid before trace: %w", err)
+		}
+		st.Validations++
+	}
+	repairWork := func() int {
+		ins, rem := d.RepairStats()
+		return ins + rem
+	}
+	for i, ev := range tr {
+		var cost EventCost
+		before := repairWork()
+		switch ev.Op {
+		case workload.OpRoute:
+			res, err := d.Serve(ev.Src, ev.Dst)
+			if err != nil {
+				return st, fmt.Errorf("core: trace event %d %s: %w", i, ev, err)
+			}
+			d.RepairBalance()
+			st.Routes++
+			st.RouteDistance += res.RouteDistance
+			st.TransformRounds += res.TransformRounds
+			cost.RouteDistance = res.RouteDistance
+			cost.TransformRounds = res.TransformRounds
+		case workload.OpJoin:
+			if _, err := d.Add(ev.Node); err != nil {
+				return st, fmt.Errorf("core: trace event %d %s: %w", i, ev, err)
+			}
+			st.Joins++
+		case workload.OpLeave:
+			if err := d.RemoveNode(ev.Node); err != nil {
+				return st, fmt.Errorf("core: trace event %d %s: %w", i, ev, err)
+			}
+			st.Leaves++
+		default:
+			return st, fmt.Errorf("core: trace event %d has unknown op %d", i, int(ev.Op))
+		}
+		cost.RepairDummies = repairWork() - before
+		st.RepairDummies += cost.RepairDummies
+		if ev.Op == workload.OpRoute {
+			st.RouteRepairs += cost.RepairDummies
+		} else {
+			st.ChurnRepairs += cost.RepairDummies
+		}
+		if h := d.g.Height(); h > st.MaxHeight {
+			st.MaxHeight = h
+		}
+		if opts.ValidateEvery > 0 && (i+1)%opts.ValidateEvery == 0 {
+			if err := d.Validate(); err != nil {
+				return st, fmt.Errorf("core: invariant violated after event %d %s: %w", i, ev, err)
+			}
+			st.Validations++
+		}
+		if opts.OnEvent != nil {
+			opts.OnEvent(i, ev, cost)
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+var (
+	fuzzSeeds  = flag.Int("churnfuzz.seeds", 3, "number of random seeds for the churn fuzz test")
+	fuzzEvents = flag.Int("churnfuzz.events", 1200, "events per churn fuzz seed")
+)
+
+// fuzzOp is one randomized operation against the DSG under test.
+type fuzzOp struct {
+	Kind byte  // 'r' route, 'j' join, 'l' leave
+	A, B int64 // route endpoints, or the join/leave subject in A
+}
+
+func (op fuzzOp) String() string {
+	switch op.Kind {
+	case 'r':
+		return fmt.Sprintf("route(%d,%d)", op.A, op.B)
+	case 'j':
+		return fmt.Sprintf("join(%d)", op.A)
+	default:
+		return fmt.Sprintf("leave(%d)", op.A)
+	}
+}
+
+// genFuzzOps builds a random op sequence that is valid when replayed from
+// the start: routes touch live ids, joins mint fresh ids, leaves keep the
+// population above two.
+func genFuzzOps(rng *rand.Rand, n, count int) []fuzzOp {
+	live := make([]int64, n)
+	for i := range live {
+		live[i] = int64(i)
+	}
+	next := int64(n)
+	ops := make([]fuzzOp, 0, count)
+	for len(ops) < count {
+		switch r := rng.Float64(); {
+		case r < 0.70:
+			i, j := rng.Intn(len(live)), rng.Intn(len(live))
+			if i == j {
+				continue
+			}
+			ops = append(ops, fuzzOp{Kind: 'r', A: live[i], B: live[j]})
+		case r < 0.85:
+			ops = append(ops, fuzzOp{Kind: 'j', A: next})
+			live = append(live, next)
+			next++
+		default:
+			if len(live) <= 2 {
+				continue
+			}
+			i := rng.Intn(len(live))
+			ops = append(ops, fuzzOp{Kind: 'l', A: live[i]})
+			live = append(live[:i], live[i+1:]...)
+		}
+	}
+	return ops
+}
+
+// runFuzz replays an op sequence against a fresh DSG and a sorted-slice
+// oracle of the live id set, asserting the full-graph validator and the
+// oracle agreement after every applied op. Ops that are inapplicable in the
+// current membership (possible after shrinking removed an op they depended
+// on) are skipped, so any subsequence replays deterministically. It returns
+// the index of the first failing op, or -1.
+func runFuzz(n int, a int, seed int64, ops []fuzzOp) (int, error) {
+	d := New(n, Config{A: a, Seed: seed})
+	d.RepairBalance()
+	if err := d.Validate(); err != nil {
+		return 0, fmt.Errorf("invalid before any op: %w", err)
+	}
+	oracle := make([]int64, n) // sorted live real ids
+	for i := range oracle {
+		oracle[i] = int64(i)
+	}
+	find := func(id int64) int {
+		i := sort.Search(len(oracle), func(i int) bool { return oracle[i] >= id })
+		if i < len(oracle) && oracle[i] == id {
+			return i
+		}
+		return -1
+	}
+	for i, op := range ops {
+		switch op.Kind {
+		case 'r':
+			if find(op.A) < 0 || find(op.B) < 0 || op.A == op.B {
+				continue // inapplicable after shrinking
+			}
+			// The worst-case bound is a·H over real nodes; dummy hops come
+			// on top (all-dummy runs are exempt from a-balance), so the
+			// population is the sound allowance.
+			bound := d.Graph().MaxSearchPath(a) + d.DummyCount()
+			res, err := d.Serve(op.A, op.B)
+			if err != nil {
+				return i, fmt.Errorf("%s: %w", op, err)
+			}
+			d.RepairBalance()
+			if res.RouteDistance > bound {
+				return i, fmt.Errorf("%s: distance %d exceeds a·H+dummies = %d", op, res.RouteDistance, bound)
+			}
+		case 'j':
+			if find(op.A) >= 0 {
+				continue
+			}
+			if _, err := d.Add(op.A); err != nil {
+				return i, fmt.Errorf("%s: %w", op, err)
+			}
+			pos := sort.Search(len(oracle), func(i int) bool { return oracle[i] >= op.A })
+			oracle = append(oracle, 0)
+			copy(oracle[pos+1:], oracle[pos:])
+			oracle[pos] = op.A
+		case 'l':
+			pos := find(op.A)
+			if pos < 0 || len(oracle) <= 2 {
+				continue
+			}
+			if err := d.RemoveNode(op.A); err != nil {
+				return i, fmt.Errorf("%s: %w", op, err)
+			}
+			oracle = append(oracle[:pos], oracle[pos+1:]...)
+		}
+		if err := d.Validate(); err != nil {
+			return i, fmt.Errorf("%s: %w", op, err)
+		}
+		if err := checkOracle(d, oracle); err != nil {
+			return i, fmt.Errorf("%s: %w", op, err)
+		}
+	}
+	return -1, nil
+}
+
+// checkOracle compares the DSG's real-node population against the sorted
+// oracle slice: same size, same ids, same key order.
+func checkOracle(d *DSG, oracle []int64) error {
+	if got := d.Graph().RealN(); got != len(oracle) {
+		return fmt.Errorf("oracle: %d real nodes, want %d", got, len(oracle))
+	}
+	var ids []int64
+	for _, x := range d.Graph().Nodes() {
+		if !x.IsDummy() {
+			ids = append(ids, x.ID())
+		}
+	}
+	for i, id := range ids {
+		if id != oracle[i] {
+			return fmt.Errorf("oracle: position %d holds id %d, want %d", i, id, oracle[i])
+		}
+	}
+	for _, id := range oracle {
+		if d.NodeByID(id) == nil {
+			return fmt.Errorf("oracle: live id %d not found by key", id)
+		}
+	}
+	return nil
+}
+
+// shrinkFuzz reduces a failing op sequence to a locally minimal one via
+// ddmin-style chunk removal: repeatedly drop the largest chunk whose
+// removal still fails, then retry with smaller chunks down to single ops.
+func shrinkFuzz(n, a int, seed int64, ops []fuzzOp, budget int) []fuzzOp {
+	// First cut: everything after the failing op is irrelevant.
+	if idx, err := runFuzz(n, a, seed, ops); err != nil && idx+1 < len(ops) {
+		ops = ops[:idx+1]
+	}
+	for chunk := len(ops) / 2; chunk >= 1; chunk /= 2 {
+		for start := 0; start+chunk <= len(ops) && budget > 0; {
+			cand := make([]fuzzOp, 0, len(ops)-chunk)
+			cand = append(cand, ops[:start]...)
+			cand = append(cand, ops[start+chunk:]...)
+			budget--
+			if _, err := runFuzz(n, a, seed, cand); err != nil {
+				ops = cand // chunk was irrelevant; keep it removed
+			} else {
+				start += chunk
+			}
+		}
+	}
+	return ops
+}
+
+// TestChurnFuzz is the randomized churn harness: for each seed it replays
+// 1000+ random route/join/leave events against a sorted-slice oracle,
+// asserting the full-graph validator after every op. A failure is shrunk
+// to a minimal reproducing sequence before reporting.
+func TestChurnFuzz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz is slow")
+	}
+	const n = 24
+	for _, a := range []int{2, 4} {
+		for s := 0; s < *fuzzSeeds; s++ {
+			seed := int64(1000*a + s)
+			t.Run(fmt.Sprintf("a=%d/seed=%d", a, seed), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(seed))
+				ops := genFuzzOps(rng, n, *fuzzEvents)
+				idx, err := runFuzz(n, a, seed, ops)
+				if err == nil {
+					return
+				}
+				min := shrinkFuzz(n, a, seed, ops, 400)
+				t.Fatalf("op %d failed: %v\nminimal reproduction (n=%d a=%d seed=%d, %d ops):\n%v",
+					idx, err, n, a, seed, len(min), min)
+			})
+		}
+	}
+}

@@ -45,8 +45,23 @@ func (d *DSG) Add(id int64) (*skipgraph.Node, error) {
 	}
 	n := d.g.Insert(key, id, func(*skipgraph.Node, int) byte { return byte(d.rng.Intn(2)) })
 	d.st[n] = d.freshState(n)
-	d.repairStaticBalance()
+	// The join's relink may have lengthened a peer's membership vector to
+	// keep it distinct from the newcomer; grow those peers' state arrays to
+	// match (a node is its own group at its new singleton levels, §IV-B).
+	d.syncStateDepth()
+	d.RepairBalance()
 	return n, nil
+}
+
+// syncStateDepth extends every node's per-level state arrays to cover its
+// current membership vector.
+func (d *DSG) syncStateDepth() {
+	for _, x := range d.g.Nodes() {
+		s := d.state(x)
+		for lvl := len(s.G); lvl <= x.BitsLen()+1; lvl++ {
+			s.setGroup(lvl, x.ID())
+		}
+	}
 }
 
 // RemoveNode removes a node (standard skip-graph leave) and repairs any
@@ -59,21 +74,22 @@ func (d *DSG) RemoveNode(id int64) error {
 	}
 	d.g.Remove(key)
 	delete(d.st, n)
-	d.repairStaticBalance()
+	d.RepairBalance()
 	return nil
 }
 
-// repairStaticBalance places dummy nodes to break any over-long same-bit
-// chain found outside a transformation (after node addition/removal).
-func (d *DSG) repairStaticBalance() {
+// repairStaticBalancePass places dummy nodes to break over-long same-bit
+// chains found outside a transformation (after node addition/removal) and
+// returns how many it inserted. It works from one violation snapshot;
+// RepairBalance iterates it to a fixed point.
+func (d *DSG) repairStaticBalancePass() (inserted, removed int) {
 	a := d.cfg.A
 	for _, viol := range d.g.BalanceViolations(a) {
 		start := d.g.ByKey(viol.Start)
-		if start == nil {
+		if start == nil || !start.HasBit(viol.Level+1) || start.Bit(viol.Level+1) != viol.Bit {
 			continue
 		}
 		list := d.g.ListAt(start, viol.Level)
-		// Find the run and insert a dummy after its a-th member.
 		idx := -1
 		for i, x := range list {
 			if x == start {
@@ -81,43 +97,148 @@ func (d *DSG) repairStaticBalance() {
 				break
 			}
 		}
-		if idx < 0 || idx+a >= len(list) {
+		if idx < 0 {
 			continue
 		}
-		left, right := list[idx+a-1], list[idx+a]
-		key, ok := d.staticFreeKey(left.Key(), right.Key())
-		if !ok {
+		// Recompute the run from the live list: an earlier repair in this
+		// pass may have shortened or shifted the snapshot's run.
+		end := idx
+		for end+1 < len(list) && list[end+1].HasBit(viol.Level+1) && list[end+1].Bit(viol.Level+1) == viol.Bit {
+			end++
+		}
+		if end-idx+1 <= a {
 			continue
 		}
-		id := d.nextDummyID
-		d.nextDummyID++
-		dm := skipgraph.NewDummy(key, id)
-		for i := 1; i <= viol.Level; i++ {
-			dm.SetBit(i, left.Bit(i))
+		// Prefer shortening the run by dropping a redundant in-run dummy —
+		// one whose removal leaves every list it touches balanced. That
+		// keeps the dummy population bounded instead of growing a breaker
+		// for every leak.
+		dropped := false
+		for j := idx; j <= end; j++ {
+			if list[j].IsDummy() && d.dummyRemovable(list[j]) {
+				d.removeDummy(list[j])
+				removed++
+				dropped = true
+				break
+			}
 		}
-		dm.SetBit(viol.Level+1, 1-viol.Bit)
-		s := &nodeState{B: viol.Level + 1}
-		s.ensure(viol.Level + 2)
-		for i := range s.G {
-			s.G[i] = id
+		if dropped {
+			continue
 		}
-		d.st[dm] = s
-		d.g.SpliceIn(dm)
-		d.dummyCount++
+		// Break the run after its a-th member if that gap has a free key;
+		// otherwise fall back to any other interior gap — every interior
+		// break strictly shortens the run, so the fixed-point loop still
+		// converges.
+		gaps := make([]int, 0, end-idx)
+		for j := idx + a - 1; j < end; j++ {
+			gaps = append(gaps, j)
+		}
+		for j := idx + a - 2; j >= idx; j-- {
+			gaps = append(gaps, j)
+		}
+		for _, j := range gaps {
+			left, right := list[j], list[j+1]
+			key, ok := d.staticFreeKey(left.Key(), right.Key())
+			if !ok {
+				continue
+			}
+			id := d.nextDummyID
+			d.nextDummyID++
+			dm := skipgraph.NewDummy(key, id)
+			for i := 1; i <= viol.Level; i++ {
+				dm.SetBit(i, left.Bit(i))
+			}
+			dm.SetBit(viol.Level+1, 1-viol.Bit)
+			s := &nodeState{B: viol.Level + 1}
+			s.ensure(viol.Level + 2)
+			for i := range s.G {
+				s.G[i] = id
+			}
+			d.st[dm] = s
+			d.g.SpliceIn(dm)
+			d.dummyCount++
+			inserted++
+			break
+		}
 	}
+	return inserted, removed
 }
 
-func (d *DSG) staticFreeKey(a, b skipgraph.Key) (skipgraph.Key, bool) {
-	for minor := a.Minor + 1; minor < 1<<30; minor++ {
+// dummyRemovable reports whether removing dm keeps every list a-balanced:
+// at each level dm participates in, the same-bit runs its departure would
+// merge (or shorten) must not exceed `a`. A node lacking the next level's
+// bit is a run boundary, so dm itself may be breaking a chain purely by
+// presence.
+func (d *DSG) dummyRemovable(dm *skipgraph.Node) bool {
+	a := d.cfg.A
+	for e := 0; e <= dm.BitsLen(); e++ {
+		bitLevel := e + 1
+		l, r := dm.Prev(e), dm.Next(e)
+		if l == nil || r == nil {
+			continue // removal can only shorten an edge run
+		}
+		if !l.HasBit(bitLevel) || !r.HasBit(bitLevel) || l.Bit(bitLevel) != r.Bit(bitLevel) {
+			continue // a boundary survives on at least one side
+		}
+		b := l.Bit(bitLevel)
+		runLen, hasReal := 0, false
+		for x := l; x != nil && x.HasBit(bitLevel) && x.Bit(bitLevel) == b; x = x.Prev(e) {
+			runLen++
+			hasReal = hasReal || !x.IsDummy()
+		}
+		for x := r; x != nil && x.HasBit(bitLevel) && x.Bit(bitLevel) == b; x = x.Next(e) {
+			runLen++
+			hasReal = hasReal || !x.IsDummy()
+		}
+		// All-dummy runs are exempt from the a-balance property (see
+		// skipgraph.listRunViolations).
+		if runLen > a && hasReal {
+			return false
+		}
+	}
+	return true
+}
+
+// removeDummy splices a dummy out of the graph and drops its state.
+func (d *DSG) removeDummy(dm *skipgraph.Node) {
+	d.g.Remove(dm.Key())
+	delete(d.st, dm)
+	d.dummyCount--
+}
+
+// freeKeyIn finds a key strictly between a and b for which occupied is
+// false, bisecting the open minor interval so repeated dummy placement
+// keeps both halves splittable (dense minor+1 packing would exhaust the
+// gap between two dummies). If the bisection path is fully occupied it
+// falls back to a linear scan of the whole interval.
+func freeKeyIn(a, b skipgraph.Key, occupied func(skipgraph.Key) bool) (skipgraph.Key, bool) {
+	lo := a.Minor
+	hi := int32(1 << 30)
+	if b.Primary == a.Primary {
+		hi = b.Minor
+	}
+	for hi-lo >= 2 {
+		mid := lo + (hi-lo)/2
+		k := skipgraph.Key{Primary: a.Primary, Minor: mid}
+		if !occupied(k) {
+			return k, true
+		}
+		hi = mid
+	}
+	for minor := a.Minor + 1; ; minor++ {
 		k := skipgraph.Key{Primary: a.Primary, Minor: minor}
-		if !k.Less(b) {
+		if !k.Less(b) || minor >= 1<<30 {
 			return skipgraph.Key{}, false
 		}
-		if d.g.ByKey(k) == nil {
+		if !occupied(k) {
 			return k, true
 		}
 	}
-	return skipgraph.Key{}, false
+}
+
+// staticFreeKey finds an unused key strictly between a and b.
+func (d *DSG) staticFreeKey(a, b skipgraph.Key) (skipgraph.Key, bool) {
+	return freeKeyIn(a, b, func(k skipgraph.Key) bool { return d.g.ByKey(k) != nil })
 }
 
 // checkInvariants verifies the post-transformation guarantees used by the

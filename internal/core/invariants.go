@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+
+	"lsasg/internal/skipgraph"
+)
+
+// Validate is the full-graph invariant validator backing the churn harness:
+// it checks every structural guarantee the analysis relies on, over the
+// whole network, independent of any particular request. The trace driver
+// and the fuzz tests call it after every event; experiments sample it.
+//
+// Checked, in order:
+//  1. structure — strictly sorted level-0 list, link symmetry, and every
+//     level-i list being exactly the key-ordered run of nodes sharing an
+//     i-bit membership prefix (skipgraph.Graph.Verify);
+//  2. membership-vector consistency — real nodes key their id's primary
+//     slot, dummies occupy minor slots, and no two real nodes share a full
+//     membership vector (every real node is singleton past its vector);
+//  3. a-balance — no level-d list contains more than `a` consecutive
+//     members with the same level-(d+1) bit (§III);
+//  4. dummy bookkeeping — DummyCount matches the graph, and the per-node
+//     DSG state map is in exact bijection with the node set;
+//  5. per-node state sanity — no timestamps below the group-base (rule T6)
+//     and state arrays at least as deep as the membership vector.
+//
+// Validate never mutates the DSG. It returns the first violation found.
+func (d *DSG) Validate() error {
+	if err := d.g.Verify(); err != nil {
+		return fmt.Errorf("structure: %w", err)
+	}
+	dummies := 0
+	for _, x := range d.g.Nodes() {
+		if x.IsDummy() {
+			dummies++
+			if x.Key().Minor == 0 {
+				return fmt.Errorf("vector: dummy %d occupies primary key slot %v", x.ID(), x.Key())
+			}
+		} else {
+			if x.Key() != skipgraph.KeyOf(x.ID()) {
+				return fmt.Errorf("vector: real node %d keyed %v, want %v", x.ID(), x.Key(), skipgraph.KeyOf(x.ID()))
+			}
+			// Past its membership vector a real node must be alone among
+			// real nodes; only dummies may share its top list (they stop
+			// splitting by design, §IV-F).
+			top := x.BitsLen()
+			for _, nb := range []*skipgraph.Node{x.Prev(top), x.Next(top)} {
+				if nb != nil && !nb.IsDummy() {
+					return fmt.Errorf("vector: real nodes %d and %d share the full vector %q",
+						x.ID(), nb.ID(), x.MembershipVector())
+				}
+			}
+		}
+	}
+	if viols := d.g.BalanceViolations(d.cfg.A); len(viols) > 0 {
+		return fmt.Errorf("balance: %d violation(s), first: %s", len(viols), viols[0])
+	}
+	if dummies != d.dummyCount {
+		return fmt.Errorf("dummies: bookkeeping says %d, graph holds %d", d.dummyCount, dummies)
+	}
+	if len(d.st) != d.g.N() {
+		return fmt.Errorf("state: %d state entries for %d nodes", len(d.st), d.g.N())
+	}
+	for _, x := range d.g.Nodes() {
+		sx, ok := d.st[x]
+		if !ok {
+			return fmt.Errorf("state: node %d has no DSG state", x.ID())
+		}
+		if sx.B < 0 {
+			return fmt.Errorf("state: node %d has negative group-base %d", x.ID(), sx.B)
+		}
+		for i := 0; i < sx.B && i < len(sx.T); i++ {
+			if sx.T[i] != 0 {
+				return fmt.Errorf("state: node %d has timestamp %d at level %d below base %d",
+					x.ID(), sx.T[i], i, sx.B)
+			}
+		}
+		if x.BitsLen() >= len(sx.G)+1 {
+			return fmt.Errorf("state: node %d vector depth %d exceeds group state %d",
+				x.ID(), x.BitsLen(), len(sx.G))
+		}
+	}
+	return nil
+}
+
+// RepairBalance restores the a-balance property across the whole graph and
+// returns how many dummies it inserted and removed. Over-long runs are
+// first shortened by dropping redundant dummies (ones whose removal leaves
+// every list balanced); only all-real or irreducible runs get a fresh dummy
+// chain-breaker. One repair pass can itself lengthen a run at a lower level
+// (a new dummy carries the prefix bits of its left neighbour), so the
+// repair iterates to a fixed point. Add, RemoveNode, and the trace runner
+// invoke it automatically (a transformation only repairs the region it
+// touched); callers constructing a DSG from a random topology (whose
+// independent membership bits carry no balance guarantee) run it once
+// before enforcing Validate.
+func (d *DSG) RepairBalance() (inserted, removed int) {
+	// Each pass strictly shrinks the total violation mass except for the
+	// rare lower-level lengthening, so a generous cap only guards against a
+	// repair that cannot make progress (key-space exhaustion).
+	for pass := 0; pass < 4*len(d.g.Nodes())+16; pass++ {
+		ins, rem := d.repairStaticBalancePass()
+		inserted += ins
+		removed += rem
+		if ins == 0 && rem == 0 {
+			break
+		}
+	}
+	// Garbage-collect dummies the repairs above (or earlier transformations)
+	// left redundant: any dummy whose removal keeps every list balanced is
+	// pure overhead — it stretches routing paths without breaking a chain.
+	// Removal only shortens runs, so one dummy's departure can make another
+	// removable; sweep until a pass finds nothing.
+	for {
+		swept := 0
+		for _, x := range d.g.Nodes() {
+			if x.IsDummy() && d.dummyRemovable(x) {
+				d.removeDummy(x)
+				swept++
+			}
+		}
+		removed += swept
+		if swept == 0 {
+			break
+		}
+	}
+	d.repairInserted += inserted
+	d.repairRemoved += removed
+	return inserted, removed
+}
+
+// RepairStats returns the cumulative number of dummy insertions and
+// removals RepairBalance has performed over the DSG's lifetime.
+func (d *DSG) RepairStats() (inserted, removed int) {
+	return d.repairInserted, d.repairRemoved
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"lsasg/internal/skipgraph"
+)
+
+// TestRepairBalanceConverges repairs freshly built random topologies (whose
+// independent membership bits carry no balance guarantee) across sizes,
+// balance parameters, and seeds, and requires a clean validator afterwards.
+func TestRepairBalanceConverges(t *testing.T) {
+	for _, a := range []int{2, 3, 4} {
+		for _, n := range []int{5, 32, 200} {
+			for seed := int64(0); seed < 5; seed++ {
+				d := New(n, Config{A: a, Seed: seed})
+				d.RepairBalance()
+				if err := d.Validate(); err != nil {
+					t.Errorf("a=%d n=%d seed=%d: %v", a, n, seed, err)
+				}
+			}
+		}
+	}
+}
+
+// TestRepairBalanceIdempotent requires a second repair right after a first
+// to be a no-op.
+func TestRepairBalanceIdempotent(t *testing.T) {
+	d := New(64, Config{A: 2, Seed: 9})
+	d.RepairBalance()
+	if ins, rem := d.RepairBalance(); ins != 0 || rem != 0 {
+		t.Errorf("second repair did work: inserted %d, removed %d", ins, rem)
+	}
+}
+
+// TestValidateAfterTraffic runs plain request traffic with the runner-style
+// repair after each request and requires the validator to stay clean.
+func TestValidateAfterTraffic(t *testing.T) {
+	d := New(48, Config{A: 2, Seed: 5})
+	d.RepairBalance()
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 150; i++ {
+		u, v := int64(rng.Intn(48)), int64(rng.Intn(48))
+		if u == v {
+			continue
+		}
+		if _, err := d.Serve(u, v); err != nil {
+			t.Fatal(err)
+		}
+		d.RepairBalance()
+		if err := d.Validate(); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+}
+
+// TestValidateDetectsCorruption drives the validator over hand-corrupted
+// states: each case must be caught with the right error class.
+func TestValidateDetectsCorruption(t *testing.T) {
+	fresh := func() *DSG {
+		d := New(16, Config{A: 4, Seed: 1})
+		d.RepairBalance()
+		if err := d.Validate(); err != nil {
+			t.Fatalf("baseline not clean: %v", err)
+		}
+		return d
+	}
+
+	t.Run("dummy bookkeeping", func(t *testing.T) {
+		d := fresh()
+		d.dummyCount += 3
+		if err := d.Validate(); err == nil || !strings.Contains(err.Error(), "dummies") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("missing state", func(t *testing.T) {
+		d := fresh()
+		delete(d.st, d.NodeByID(7))
+		if err := d.Validate(); err == nil || !strings.Contains(err.Error(), "state") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("timestamp below base", func(t *testing.T) {
+		d := fresh()
+		s := d.state(d.NodeByID(3))
+		s.B = 2
+		s.ensure(2)
+		s.T[0] = 99
+		if err := d.Validate(); err == nil || !strings.Contains(err.Error(), "below base") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("balance violation", func(t *testing.T) {
+		// Keys 0, 1, 2 all take bit 1 = 0: a run of 3 > a = 2.
+		g := skipgraph.NewFromVectors([]skipgraph.VectorEntry{
+			{Key: 0, ID: 0, Vector: "000"},
+			{Key: 1, ID: 1, Vector: "001"},
+			{Key: 2, ID: 2, Vector: "01"},
+			{Key: 3, ID: 3, Vector: "10"},
+			{Key: 4, ID: 4, Vector: "11"},
+		})
+		d := NewFromGraph(g, Config{A: 2, Seed: 1})
+		if err := d.Validate(); err == nil || !strings.Contains(err.Error(), "balance") {
+			t.Errorf("err = %v", err)
+		}
+		d.RepairBalance()
+		if err := d.Validate(); err != nil {
+			t.Errorf("after repair: %v", err)
+		}
+	})
+	t.Run("shallow state arrays", func(t *testing.T) {
+		d := fresh()
+		s := d.state(d.NodeByID(5))
+		s.G = s.G[:1]
+		if err := d.Validate(); err == nil || !strings.Contains(err.Error(), "exceeds group state") {
+			t.Errorf("err = %v", err)
+		}
+	})
+}

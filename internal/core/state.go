@@ -114,6 +114,11 @@ type DSG struct {
 
 	nextDummyID int64
 	dummyCount  int
+
+	// Cumulative a-balance repair work (dummy insertions/removals by
+	// RepairBalance), read via RepairStats by the trace runner.
+	repairInserted int
+	repairRemoved  int
 }
 
 // New creates a DSG over n nodes with keys and identifiers 0..n-1. The

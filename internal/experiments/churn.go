@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lsasg/internal/baseline"
+	"lsasg/internal/core"
+	"lsasg/internal/stats"
+	"lsasg/internal/workload"
+)
+
+// churnTrace generates a trace and runs it through a fresh DSG with
+// periodic full-graph validation (every validateEvery events; the runner
+// errors out on any invariant violation, so every churn experiment doubles
+// as an invariant check).
+func churnTrace(n int, g workload.TraceGenerator, m int, seed int64, validateEvery int) (workload.Trace, core.TraceStats, *core.DSG) {
+	tr, err := g.Trace(n, m)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	d := core.New(n, core.Config{A: 4, Seed: seed})
+	st, err := d.RunTrace(tr, core.TraceOptions{ValidateEvery: validateEvery})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return tr, st, d
+}
+
+// staticTrace applies the same trace to the non-adapting baseline and
+// returns its mean routing distance per route event.
+func staticTrace(n int, tr workload.Trace, seed int64) float64 {
+	s := baseline.NewStatic(n, seed)
+	total, routes := 0, 0
+	for i, ev := range tr {
+		var err error
+		switch ev.Op {
+		case workload.OpRoute:
+			var d int
+			d, err = s.RouteIDs(ev.Src, ev.Dst)
+			total += d
+			routes++
+		case workload.OpJoin:
+			err = s.Join(ev.Node)
+		case workload.OpLeave:
+			err = s.Leave(ev.Node)
+		}
+		if err != nil {
+			panic(fmt.Sprintf("experiments: static trace event %d: %v", i, err))
+		}
+	}
+	if routes == 0 {
+		return 0
+	}
+	return float64(total) / float64(routes)
+}
+
+// churnRates is the Poisson churn sweep shared by E13 and E14: expected
+// membership events per route, from none to one-in-two.
+var churnRates = []float64{0, 0.05, 0.2, 0.5}
+
+// E13ChurnRouting measures the routing cost of DSG vs the static skip
+// graph as Poisson churn intensifies under skewed traffic: does the
+// self-adjusting advantage survive continuous joins and leaves?
+func E13ChurnRouting(sc Scale) *stats.Table {
+	t := stats.NewTable("E13 — routing cost under churn (DSG vs static, Zipf 1.2 traffic)",
+		"n", "churn rate", "events", "joins", "leaves", "DSG dist", "static dist", "DSG/static")
+	for _, n := range sc.Sizes {
+		for _, rate := range churnRates {
+			gen := workload.PoissonChurn{Seed: sc.Seed, Rate: rate, Base: workload.Zipf{Seed: sc.Seed, S: 1.2}}
+			tr, st, _ := churnTrace(n, gen, sc.Requests, sc.Seed, 100)
+			static := staticTrace(n, tr, sc.Seed)
+			ratio := 0.0
+			if static > 0 {
+				ratio = st.MeanRouteDistance() / static
+			}
+			t.AddRow(n, rate, len(tr), st.Joins, st.Leaves,
+				st.MeanRouteDistance(), static, ratio)
+		}
+	}
+	return t
+}
+
+// E14ChurnAdjustment measures the adjustment cost of churn: transformation
+// rounds per route, balance-repair actions per membership event, and the
+// dummy population, across churn rates. Validation runs every 50 events,
+// so every row also certifies the full invariant set under that rate.
+func E14ChurnAdjustment(sc Scale) *stats.Table {
+	t := stats.NewTable("E14 — adjustment cost under churn (Poisson, Zipf 1.2 traffic)",
+		"n", "churn rate", "transform rounds/route", "repairs/route", "repairs/churn event", "dummies", "max height", "validations")
+	n := sc.Sizes[len(sc.Sizes)-1]
+	for _, rate := range churnRates {
+		gen := workload.PoissonChurn{Seed: sc.Seed, Rate: rate, Base: workload.Zipf{Seed: sc.Seed, S: 1.2}}
+		_, st, d := churnTrace(n, gen, sc.Requests, sc.Seed, 50)
+		t.AddRow(n, rate, st.MeanTransformRounds(), st.RepairDummiesPerRoute(),
+			st.RepairDummiesPerChurn(), d.DummyCount(), st.MaxHeight, st.Validations)
+	}
+	return t
+}
+
+// E15ChurnPatterns contrasts churn shapes at comparable volume: memoryless
+// Poisson turnover, flash-crowd join bursts, and correlated departures of
+// key-adjacent nodes (rack failures), all over working-set traffic.
+func E15ChurnPatterns(sc Scale) *stats.Table {
+	t := stats.NewTable("E15 — churn patterns (temporal traffic, comparable churn volume)",
+		"n", "pattern", "params", "joins", "leaves", "DSG dist", "static dist", "rounds/route")
+	n := sc.Sizes[len(sc.Sizes)-1]
+	base := func() workload.Generator { return workload.Temporal{Seed: sc.Seed, W: 8, Churn: 0.1} }
+	period := 25
+	for _, gen := range []workload.TraceGenerator{
+		workload.PoissonChurn{Seed: sc.Seed, Rate: 0.2, Base: base()},
+		workload.FlashCrowd{Seed: sc.Seed, Period: period, Burst: 5, Base: base()},
+		workload.CorrelatedDepartures{Seed: sc.Seed, Period: period, Burst: 5, Base: base()},
+	} {
+		tr, st, _ := churnTrace(n, gen, sc.Requests, sc.Seed, 100)
+		static := staticTrace(n, tr, sc.Seed)
+		t.AddRow(n, gen.Name(), workload.ParamString(gen), st.Joins, st.Leaves,
+			st.MeanRouteDistance(), static, st.MeanTransformRounds())
+	}
+	return t
+}

@@ -66,6 +66,39 @@ func TestGridGoldenCSV(t *testing.T) {
 	}
 }
 
+// TestChurnGoldenCSV pins the churn experiment's CSV the same way: the
+// acceptance contract is that `dsgexp -only E13 -quick -seed 1` is
+// byte-stable across runs and commits. Regenerate with
+// `go test ./internal/experiments -run Golden -update` after an
+// intentional change.
+func TestChurnGoldenCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	dir := t.TempDir()
+	gridQuickSeed1(t, dir, "E13")
+	got, err := os.ReadFile(filepath.Join(dir, "E13-churn-routing.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "E13-churn-routing.quick-seed1.csv")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("E13 CSV drifted from golden file %s:\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+}
+
 // TestGridDeterministic runs the same two-experiment grid twice and
 // requires identical CSV bytes — the reproducibility contract of dsgexp.
 func TestGridDeterministic(t *testing.T) {

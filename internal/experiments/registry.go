@@ -13,7 +13,7 @@ import (
 // paper), and the runner itself. The registry is the single source of truth
 // consumed by cmd/dsgexp, cmd/dsgbench, the tests, and docs/EXPERIMENTS.md.
 type Experiment struct {
-	// ID is the stable identifier (E1..E12) used for filtering and file names.
+	// ID is the stable identifier (E1..E15) used for filtering and file names.
 	ID string
 	// Name is a short slug (lowercase, hyphenated) for output files.
 	Name string
@@ -26,7 +26,7 @@ type Experiment struct {
 	Run func(Scale) *stats.Table
 }
 
-// Registry returns every registered experiment in canonical (E1..E12) order.
+// Registry returns every registered experiment in canonical (E1..E15) order.
 func Registry() []Experiment {
 	return []Experiment{
 		{
@@ -112,6 +112,27 @@ func Registry() []Experiment {
 			Description: "Sequential round accounting cross-checked against distributed CONGEST executions.",
 			PaperRef:    "§III model (CONGEST); Appendices B + D",
 			Run:         E12SimValidation,
+		},
+		{
+			ID:          "E13",
+			Name:        "churn-routing",
+			Description: "Routing cost of DSG vs the static skip graph under increasing Poisson churn rates.",
+			PaperRef:    "§IV-G (node join/leave); Interlaced churn model",
+			Run:         E13ChurnRouting,
+		},
+		{
+			ID:          "E14",
+			Name:        "churn-adjustment",
+			Description: "Adjustment cost of churn: transformation rounds, balance repairs, and dummy population, invariant-checked.",
+			PaperRef:    "§IV-F/G (a-balance maintenance under membership changes)",
+			Run:         E14ChurnAdjustment,
+		},
+		{
+			ID:          "E15",
+			Name:        "churn-patterns",
+			Description: "Churn shape comparison: Poisson turnover vs flash-crowd joins vs correlated departures.",
+			PaperRef:    "§IV-G; Aspnes-Shah §5 (fault tolerance of correlated failures)",
+			Run:         E15ChurnPatterns,
 		},
 	}
 }

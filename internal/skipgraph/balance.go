@@ -20,25 +20,58 @@ func (v BalanceViolation) String() string {
 
 // BalanceViolations scans the whole graph and returns every a-balance
 // violation: for every list at every level, no a+1 consecutive members may
-// share the next level's membership bit.
+// share the next level's membership bit. The scan descends past members
+// whose vector ends (dummies, §IV-F) — they stay singleton above and the
+// remaining members keep splitting — unlike TreeView, whose truncation
+// semantics serve figure reconstruction and would hide every list below a
+// dummy.
 func (g *Graph) BalanceViolations(a int) []BalanceViolation {
 	if a < 1 {
 		panic(fmt.Sprintf("skipgraph: balance parameter must be >= 1, got %d", a))
 	}
 	var out []BalanceViolation
-	g.TreeView().Walk(func(t *Tree) {
-		out = append(out, listRunViolations(t.Nodes, t.Level, a)...)
-	})
+	var walk func(list []*Node, level int)
+	walk = func(list []*Node, level int) {
+		out = append(out, listRunViolations(list, level, a)...)
+		zeros := make([]*Node, 0, len(list))
+		ones := make([]*Node, 0, len(list))
+		for _, n := range list {
+			if !n.HasBit(level + 1) {
+				continue // singleton above this level
+			}
+			if n.Bit(level+1) == 0 {
+				zeros = append(zeros, n)
+			} else {
+				ones = append(ones, n)
+			}
+		}
+		if len(zeros) >= 2 {
+			walk(zeros, level+1)
+		}
+		if len(ones) >= 2 {
+			walk(ones, level+1)
+		}
+	}
+	if len(g.nodes) >= 2 {
+		walk(g.nodes, 0)
+	}
 	return out
 }
 
-// listRunViolations finds over-long same-bit runs inside one list.
+// listRunViolations finds over-long same-bit runs inside one list. Runs
+// consisting solely of dummy nodes are exempt: dummies never split further,
+// so such a run costs nothing at the next level, and demanding a chain
+// breaker for a run of chain breakers would cascade (every inserted dummy
+// spawning runs that need more dummies) until the key space between two
+// real nodes is exhausted. The global dummy-population bound keeps the
+// routing-path inflation from dummy runs bounded instead.
 func listRunViolations(list []*Node, level, a int) []BalanceViolation {
 	var out []BalanceViolation
 	if len(list) < 2 {
 		return out
 	}
 	runStart := 0
+	hasReal := false
 	for i := 1; i <= len(list); i++ {
 		boundary := i == len(list) ||
 			!list[i].HasBit(level+1) || !list[runStart].HasBit(level+1) ||
@@ -46,7 +79,10 @@ func listRunViolations(list []*Node, level, a int) []BalanceViolation {
 		if !boundary {
 			continue
 		}
-		if runLen := i - runStart; runLen > a && list[runStart].HasBit(level+1) {
+		for j := runStart; j < i && !hasReal; j++ {
+			hasReal = !list[j].dummy
+		}
+		if runLen := i - runStart; runLen > a && list[runStart].HasBit(level+1) && hasReal {
 			out = append(out, BalanceViolation{
 				Level:  level,
 				Start:  list[runStart].Key(),
@@ -55,6 +91,7 @@ func listRunViolations(list []*Node, level, a int) []BalanceViolation {
 			})
 		}
 		runStart = i
+		hasReal = false
 	}
 	return out
 }

@@ -1,0 +1,223 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// minLive is the membership floor every churn generator respects: a leave
+// never drops the network below this many nodes, so every trace keeps at
+// least one routable pair alive.
+const minLive = 2
+
+// PoissonChurn layers memoryless churn over any request generator: before
+// each route, a Poisson(Rate)-distributed number of membership events fire,
+// each an unbiased coin flip between a fresh join and the departure of a
+// uniformly random live node. Rate is the expected number of membership
+// events per route, so the network size random-walks around its start value
+// — the classic steady-state churn model of DHT studies (cf. Interlaced's
+// skip-graph churn stabilization).
+type PoissonChurn struct {
+	Seed int64
+	Rate float64   // expected membership events per route, ≥ 0
+	Base Generator // route traffic; defaults to Uniform{Seed}
+}
+
+// Name implements TraceGenerator.
+func (g PoissonChurn) Name() string {
+	return fmt.Sprintf("poisson-churn(rate=%.2f,%s)", g.Rate, g.base().Name())
+}
+
+func (g PoissonChurn) base() Generator {
+	if g.Base == nil {
+		return Uniform{Seed: g.Seed}
+	}
+	return g.Base
+}
+
+// Trace implements TraceGenerator.
+func (g PoissonChurn) Trace(n, m int) (Trace, error) {
+	if err := ValidateArgs(n, m); err != nil {
+		return nil, err
+	}
+	// Beyond ~700 events per route exp(-lambda) underflows in poisson();
+	// any real sweep stays orders of magnitude below that.
+	if g.Rate < 0 || g.Rate > 500 || math.IsNaN(g.Rate) {
+		return nil, fmt.Errorf("workload: poisson churn rate %v out of range [0, 500]", g.Rate)
+	}
+	rng := rand.New(rand.NewSource(g.Seed + 101))
+	reqs := g.base().Generate(n, m)
+	ms := newMembership(n)
+	tr := make(Trace, 0, m+int(g.Rate*float64(m))+1)
+	routes := 0
+	for _, r := range reqs {
+		for k := poisson(rng, g.Rate); k > 0; k-- {
+			if rng.Intn(2) == 0 || ms.size() <= minLive {
+				tr = append(tr, ms.join())
+			} else {
+				tr = append(tr, ms.leaveAt(rng.Intn(ms.size())))
+			}
+		}
+		if ev, ok := ms.route(r); ok {
+			tr = append(tr, ev)
+			routes++
+		}
+	}
+	return padRoutes(tr, ms, rng, m-routes), nil
+}
+
+// FlashCrowd models a sudden audience: every Period routes, Burst fresh
+// nodes join back-to-back, and the previous burst's members all leave at
+// the next boundary — the crowd arrives, lingers for one period, and
+// dissipates. Between boundaries the base generator drives route traffic.
+type FlashCrowd struct {
+	Seed   int64
+	Period int       // routes between bursts, ≥ 1
+	Burst  int       // nodes per burst, ≥ 1
+	Base   Generator // route traffic; defaults to Uniform{Seed}
+}
+
+// Name implements TraceGenerator.
+func (g FlashCrowd) Name() string {
+	return fmt.Sprintf("flash-crowd(period=%d,burst=%d,%s)", g.Period, g.Burst, g.base().Name())
+}
+
+func (g FlashCrowd) base() Generator {
+	if g.Base == nil {
+		return Uniform{Seed: g.Seed}
+	}
+	return g.Base
+}
+
+// Trace implements TraceGenerator.
+func (g FlashCrowd) Trace(n, m int) (Trace, error) {
+	if err := ValidateArgs(n, m); err != nil {
+		return nil, err
+	}
+	if g.Period < 1 || g.Burst < 1 {
+		return nil, fmt.Errorf("workload: flash crowd needs period ≥ 1 and burst ≥ 1, got (%d, %d)", g.Period, g.Burst)
+	}
+	rng := rand.New(rand.NewSource(g.Seed + 202))
+	reqs := g.base().Generate(n, m)
+	ms := newMembership(n)
+	tr := make(Trace, 0, m+2*g.Burst*(m/g.Period+1))
+	var crowd []int64 // ids of the burst currently lingering
+	routes := 0
+	for i, r := range reqs {
+		if i%g.Period == 0 {
+			for _, id := range crowd {
+				for pos, liveID := range ms.live {
+					if liveID == id {
+						tr = append(tr, ms.leaveAt(pos))
+						break
+					}
+				}
+			}
+			crowd = crowd[:0]
+			for b := 0; b < g.Burst; b++ {
+				ev := ms.join()
+				crowd = append(crowd, ev.Node)
+				tr = append(tr, ev)
+			}
+		}
+		if ev, ok := ms.route(r); ok {
+			tr = append(tr, ev)
+			routes++
+		}
+	}
+	return padRoutes(tr, ms, rng, m-routes), nil
+}
+
+// CorrelatedDepartures models correlated failures (a rack, an AS, a
+// provider): every Period routes, Burst id-adjacent live nodes crash
+// together, immediately followed by Burst fresh joins (recovery), so the
+// network size stays stable while whole key regions blink out at once.
+type CorrelatedDepartures struct {
+	Seed   int64
+	Period int       // routes between failure events, ≥ 1
+	Burst  int       // adjacent nodes per failure, ≥ 1
+	Base   Generator // route traffic; defaults to Uniform{Seed}
+}
+
+// Name implements TraceGenerator.
+func (g CorrelatedDepartures) Name() string {
+	return fmt.Sprintf("correlated-departures(period=%d,burst=%d,%s)", g.Period, g.Burst, g.base().Name())
+}
+
+func (g CorrelatedDepartures) base() Generator {
+	if g.Base == nil {
+		return Uniform{Seed: g.Seed}
+	}
+	return g.Base
+}
+
+// Trace implements TraceGenerator.
+func (g CorrelatedDepartures) Trace(n, m int) (Trace, error) {
+	if err := ValidateArgs(n, m); err != nil {
+		return nil, err
+	}
+	if g.Period < 1 || g.Burst < 1 {
+		return nil, fmt.Errorf("workload: correlated departures need period ≥ 1 and burst ≥ 1, got (%d, %d)", g.Period, g.Burst)
+	}
+	rng := rand.New(rand.NewSource(g.Seed + 303))
+	reqs := g.base().Generate(n, m)
+	ms := newMembership(n)
+	tr := make(Trace, 0, m+2*g.Burst*(m/g.Period+1))
+	routes := 0
+	for i, r := range reqs {
+		if i > 0 && i%g.Period == 0 {
+			burst := g.Burst
+			if max := ms.size() - minLive; burst > max {
+				burst = max
+			}
+			if burst > 0 {
+				start := rng.Intn(ms.size() - burst + 1)
+				for b := 0; b < burst; b++ {
+					tr = append(tr, ms.leaveAt(start)) // positions shift left
+				}
+				for b := 0; b < burst; b++ {
+					tr = append(tr, ms.join())
+				}
+			}
+		}
+		if ev, ok := ms.route(r); ok {
+			tr = append(tr, ev)
+			routes++
+		}
+	}
+	return padRoutes(tr, ms, rng, m-routes), nil
+}
+
+// poisson draws a Poisson(lambda)-distributed count (Knuth's product
+// method; lambda stays small here, single digits per route).
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// padRoutes appends `missing` uniform routes over the final membership so
+// every trace carries exactly the requested number of route events even
+// when endpoint collisions dropped a few base requests.
+func padRoutes(tr Trace, ms *membership, rng *rand.Rand, missing int) Trace {
+	for missing > 0 {
+		i := rng.Intn(ms.size())
+		j := rng.Intn(ms.size())
+		if i == j {
+			continue
+		}
+		tr = append(tr, Event{Op: OpRoute, Src: ms.live[i], Dst: ms.live[j]})
+		missing--
+	}
+	return tr
+}

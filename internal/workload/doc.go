@@ -12,4 +12,14 @@
 // Generators with tunable knobs also implement Parameterized, exposing
 // their parameters as a map for machine-readable experiment output;
 // Describe renders a generator with its full configuration.
+//
+// Beyond static request sequences, the package generates dynamic
+// workloads: a Trace is an ordered sequence of Events (Op = Route, Join,
+// or Leave over node identifiers), produced by TraceGenerators that layer
+// churn over any request generator — PoissonChurn (memoryless turnover),
+// FlashCrowd (join bursts that dissipate a period later), and
+// CorrelatedDepartures (key-adjacent group failures with recovery).
+// NoChurn wraps a plain generator as the zero-churn baseline, and
+// Trace.Validate replays a trace against a membership model to certify it
+// is well-formed.
 package workload

@@ -38,11 +38,52 @@ func (g Clustered) Params() map[string]float64 {
 // Params implements Parameterized (the schedule is fully seed-determined).
 func (Adversarial) Params() map[string]float64 { return map[string]float64{} }
 
+// Params implements Parameterized (churn knobs plus the base generator's).
+func (g PoissonChurn) Params() map[string]float64 {
+	p := map[string]float64{"rate": g.Rate}
+	mergeBaseParams(p, g.base())
+	return p
+}
+
+// Params implements Parameterized.
+func (g FlashCrowd) Params() map[string]float64 {
+	p := map[string]float64{"period": float64(g.Period), "burst": float64(g.Burst)}
+	mergeBaseParams(p, g.base())
+	return p
+}
+
+// Params implements Parameterized.
+func (g CorrelatedDepartures) Params() map[string]float64 {
+	p := map[string]float64{"period": float64(g.Period), "burst": float64(g.Burst)}
+	mergeBaseParams(p, g.base())
+	return p
+}
+
+// Params implements Parameterized (delegates to the base generator).
+func (g NoChurn) Params() map[string]float64 {
+	p := map[string]float64{}
+	mergeBaseParams(p, g.base())
+	return p
+}
+
+// mergeBaseParams folds a base generator's knobs into p under a "base."
+// prefix so churn and traffic parameters never collide.
+func mergeBaseParams(p map[string]float64, base Generator) {
+	bp, ok := base.(Parameterized)
+	if !ok {
+		return
+	}
+	for k, v := range bp.Params() {
+		p["base."+k] = v
+	}
+}
+
 // ParamString renders a generator's knobs as a canonical "k1=v1 k2=v2"
 // string with sorted keys (empty for knob-free generators). Experiment
 // result rows carry it next to the display name so output files record the
-// full workload configuration.
-func ParamString(g Generator) string {
+// full workload configuration. It accepts both Generator and TraceGenerator
+// values — anything implementing Parameterized.
+func ParamString(g interface{}) string {
 	p, ok := g.(Parameterized)
 	if !ok {
 		return ""

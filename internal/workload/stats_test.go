@@ -1,0 +1,210 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestZipfMatchesZipfWeights checks the Zipf generator's empirical endpoint
+// distribution against the analytic ZipfWeights: rank-sorted frequencies
+// must track 1/r^s within a small L1 distance.
+func TestZipfMatchesZipfWeights(t *testing.T) {
+	const n, m = 40, 60000
+	for _, s := range []float64{1.2, 1.6} {
+		reqs := Zipf{Seed: 11, S: s}.Generate(n, m)
+		counts := make([]float64, n)
+		for _, r := range reqs {
+			counts[r.Src]++
+			counts[r.Dst]++
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(counts)))
+		total := float64(2 * m)
+		// The generator rejects src == dst, so the expected endpoint
+		// marginal is the ZipfWeights conditioned on distinct endpoints:
+		// P(endpoint = rank i) ∝ w_i(1 - w_i).
+		w := ZipfWeights(n, s)
+		want := make([]float64, n)
+		norm := 0.0
+		for i, wi := range w {
+			want[i] = wi * (1 - wi)
+			norm += want[i]
+		}
+		l1 := 0.0
+		for i := range counts {
+			l1 += math.Abs(counts[i]/total - want[i]/norm)
+		}
+		// Far below a uniform distribution's distance (~0.8 for s=1.2).
+		if l1 > 0.05 {
+			t.Errorf("s=%.1f: L1 distance to rejection-adjusted ZipfWeights = %.3f", s, l1)
+		}
+		// The head must dominate: rank-1 frequency ≥ 4x the median rank's.
+		if counts[0] < 4*counts[n/2] {
+			t.Errorf("s=%.1f: head %f not dominant over median %f", s, counts[0], counts[n/2])
+		}
+	}
+}
+
+// TestTemporalWindowLocality checks the working-set semantics: with zero
+// churn all traffic stays inside the initial W-node active set, and with
+// churn c every window of requests touches at most W plus the expected
+// number of swaps distinct nodes.
+func TestTemporalWindowLocality(t *testing.T) {
+	const n, m, w = 60, 4000, 8
+
+	distinct := func(reqs []Request) int {
+		seen := map[int]bool{}
+		for _, r := range reqs {
+			seen[r.Src] = true
+			seen[r.Dst] = true
+		}
+		return len(seen)
+	}
+
+	frozen := Temporal{Seed: 21, W: w, Churn: 0}.Generate(n, m)
+	if got := distinct(frozen); got > w {
+		t.Errorf("churn=0: %d distinct nodes, want ≤ %d", got, w)
+	}
+
+	const churn = 0.1
+	reqs := Temporal{Seed: 22, W: w, Churn: churn}.Generate(n, m)
+	if got := distinct(reqs); got <= w {
+		t.Errorf("churn=%.1f: active set never mutated (%d distinct nodes)", churn, got)
+	}
+	const window = 200
+	for start := 0; start+window <= m; start += window {
+		got := distinct(reqs[start : start+window])
+		// A window can touch the W active nodes plus one new node per swap;
+		// 3x slack over the expectation keeps the test deterministic-stable.
+		limit := w + int(3*churn*window)
+		if got > limit {
+			t.Errorf("window at %d: %d distinct nodes, want ≤ %d", start, got, limit)
+		}
+	}
+}
+
+// TestClusteredIntraFraction reconstructs the generator's community
+// assignment (same seed, same draw order) and checks the realized
+// intra-community fraction against Local + (1-Local)/C.
+func TestClusteredIntraFraction(t *testing.T) {
+	const n, m, c = 64, 40000, 8
+	const local = 0.9
+	g := Clustered{Seed: 31, C: c, Local: local}
+	reqs := g.Generate(n, m)
+
+	// The generator's first rng draw is the community permutation.
+	rng := rand.New(rand.NewSource(31))
+	perm := rng.Perm(n)
+	comm := make([]int, n)
+	for i, p := range perm {
+		comm[p] = i % c
+	}
+
+	intra := 0
+	for _, r := range reqs {
+		if comm[r.Src] == comm[r.Dst] {
+			intra++
+		}
+	}
+	got := float64(intra) / float64(m)
+	want := local + (1-local)/float64(c)
+	if math.Abs(got-want) > 0.05 {
+		t.Errorf("intra-community fraction %.3f, want ≈ %.3f", got, want)
+	}
+}
+
+// TestAdversarialShape checks the worst-case properties the generator
+// promises: balanced endpoint usage (no node is hot) and near-maximal pair
+// diversity (few repeats), the shape that maximizes the working set.
+func TestAdversarialShape(t *testing.T) {
+	const n, m = 50, 2000
+	reqs := Adversarial{Seed: 41}.Generate(n, m)
+
+	counts := make([]int, n)
+	pairs := map[[2]int]int{}
+	for _, r := range reqs {
+		counts[r.Src]++
+		counts[r.Dst]++
+		pairs[[2]int{r.Src, r.Dst}]++
+	}
+	minC, maxC := counts[0], counts[0]
+	for _, c := range counts[1:] {
+		if c < minC {
+			minC = c
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	// Round-robin striding keeps endpoint usage within one stride of even.
+	if maxC-minC > n {
+		t.Errorf("endpoint counts spread %d..%d, want near-even", minC, maxC)
+	}
+	// m = 2000 < n(n-1) = 2450 ordered pairs: repeats must stay rare.
+	if len(pairs) < m*9/10 {
+		t.Errorf("only %d distinct pairs in %d requests", len(pairs), m)
+	}
+}
+
+// TestValidateArgs covers the error-returning argument validation.
+func TestValidateArgs(t *testing.T) {
+	if err := ValidateArgs(2, 0); err != nil {
+		t.Errorf("ValidateArgs(2, 0) = %v", err)
+	}
+	if err := ValidateArgs(1, 10); err == nil || !strings.Contains(err.Error(), "at least 2") {
+		t.Errorf("ValidateArgs(1, 10) = %v", err)
+	}
+	if err := ValidateArgs(10, -1); err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Errorf("ValidateArgs(10, -1) = %v", err)
+	}
+}
+
+// TestGenerateErrorPath checks the package-level Generate wrapper: invalid
+// sizes surface as errors, valid ones produce the same sequence as the
+// direct (panicking) entry point.
+func TestGenerateErrorPath(t *testing.T) {
+	g := Zipf{Seed: 5, S: 1.3}
+	if _, err := Generate(g, 1, 10); err == nil {
+		t.Error("Generate(g, 1, 10) should error")
+	}
+	if _, err := Generate(g, 10, -5); err == nil {
+		t.Error("Generate(g, 10, -5) should error")
+	}
+	got, err := Generate(g, 20, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.Generate(20, 50)
+	if len(got) != len(want) {
+		t.Fatalf("lengths differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("request %d differs: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestGeneratePanicContract pins the documented panic behavior of the
+// direct Generator entry points on bad input.
+func TestGeneratePanicContract(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		n, m int
+	}{{"tiny n", 1, 10}, {"negative m", 10, -1}} {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("no panic")
+				}
+				if msg, ok := r.(string); !ok || !strings.HasPrefix(msg, "workload:") {
+					t.Fatalf("panic value %v, want workload-prefixed message", r)
+				}
+			}()
+			Uniform{Seed: 1}.Generate(c.n, c.m)
+		})
+	}
+}

@@ -1,0 +1,198 @@
+package workload
+
+import "fmt"
+
+// Op is the kind of one event in a dynamic workload trace.
+type Op int
+
+const (
+	// OpRoute is a communication request between two live nodes.
+	OpRoute Op = iota
+	// OpJoin adds a fresh node to the network.
+	OpJoin
+	// OpLeave removes a live node from the network.
+	OpLeave
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpRoute:
+		return "route"
+	case OpJoin:
+		return "join"
+	case OpLeave:
+		return "leave"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Event is one step of a dynamic workload: either a routing request between
+// two live node identifiers (OpRoute, using Src/Dst) or a membership change
+// (OpJoin/OpLeave, using Node). Identifiers are int64 to match the network
+// packages; a trace over n initial nodes uses ids 0..n-1 for the starting
+// membership and fresh ids ≥ n for joins.
+type Event struct {
+	Op   Op
+	Src  int64 // OpRoute source
+	Dst  int64 // OpRoute destination
+	Node int64 // OpJoin / OpLeave subject
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	if e.Op == OpRoute {
+		return fmt.Sprintf("route(%d→%d)", e.Src, e.Dst)
+	}
+	return fmt.Sprintf("%s(%d)", e.Op, e.Node)
+}
+
+// Trace is an ordered event sequence produced by a TraceGenerator.
+type Trace []Event
+
+// Counts returns the number of route, join, and leave events.
+func (tr Trace) Counts() (routes, joins, leaves int) {
+	for _, e := range tr {
+		switch e.Op {
+		case OpRoute:
+			routes++
+		case OpJoin:
+			joins++
+		case OpLeave:
+			leaves++
+		}
+	}
+	return routes, joins, leaves
+}
+
+// Validate replays the trace against a membership model and returns the
+// first inconsistency: a route touching a dead or unknown id, a join of an
+// already-live id, a leave of a dead id, or a leave that would drop the
+// membership below two nodes (the minimum for routing). The initial
+// membership is ids 0..n-1.
+func (tr Trace) Validate(n int) error {
+	if n < 2 {
+		return fmt.Errorf("workload: trace needs at least 2 initial nodes, got %d", n)
+	}
+	live := make(map[int64]bool, n)
+	for i := 0; i < n; i++ {
+		live[int64(i)] = true
+	}
+	for i, e := range tr {
+		switch e.Op {
+		case OpRoute:
+			if !live[e.Src] || !live[e.Dst] {
+				return fmt.Errorf("workload: event %d %s references a dead node", i, e)
+			}
+			if e.Src == e.Dst {
+				return fmt.Errorf("workload: event %d %s is a self route", i, e)
+			}
+		case OpJoin:
+			if live[e.Node] {
+				return fmt.Errorf("workload: event %d %s joins a live node", i, e)
+			}
+			live[e.Node] = true
+		case OpLeave:
+			if !live[e.Node] {
+				return fmt.Errorf("workload: event %d %s leaves a dead node", i, e)
+			}
+			if len(live) <= 2 {
+				return fmt.Errorf("workload: event %d %s would drop membership below 2", i, e)
+			}
+			delete(live, e.Node)
+		default:
+			return fmt.Errorf("workload: event %d has unknown op %d", i, int(e.Op))
+		}
+	}
+	return nil
+}
+
+// TraceGenerator produces a dynamic workload: a trace with exactly m route
+// events, interleaved with the generator's membership events, over an
+// initial network of n nodes (ids 0..n-1).
+type TraceGenerator interface {
+	// Name identifies the generator in experiment tables.
+	Name() string
+	// Trace returns the event sequence, or an error for invalid (n, m).
+	Trace(n, m int) (Trace, error)
+}
+
+// NoChurn wraps a plain request generator as a TraceGenerator with no
+// membership events, the zero-churn baseline of every churn sweep.
+type NoChurn struct {
+	Base Generator // route traffic; defaults to Uniform{}
+}
+
+func (g NoChurn) base() Generator {
+	if g.Base == nil {
+		return Uniform{}
+	}
+	return g.Base
+}
+
+// Name implements TraceGenerator.
+func (g NoChurn) Name() string { return "nochurn(" + g.base().Name() + ")" }
+
+// Trace implements TraceGenerator.
+func (g NoChurn) Trace(n, m int) (Trace, error) {
+	reqs, err := Generate(g.base(), n, m)
+	if err != nil {
+		return nil, err
+	}
+	tr := make(Trace, len(reqs))
+	for i, r := range reqs {
+		tr[i] = Event{Op: OpRoute, Src: int64(r.Src), Dst: int64(r.Dst)}
+	}
+	return tr, nil
+}
+
+// membership tracks the live id set while a churn generator interleaves
+// joins and leaves with a base request stream. Live ids are kept in id
+// order so leave selection is deterministic and correlated departures can
+// target key-adjacent nodes.
+type membership struct {
+	live   []int64 // sorted ascending
+	nextID int64   // fresh id for the next join
+}
+
+func newMembership(n int) *membership {
+	ms := &membership{live: make([]int64, n), nextID: int64(n)}
+	for i := range ms.live {
+		ms.live[i] = int64(i)
+	}
+	return ms
+}
+
+func (ms *membership) size() int { return len(ms.live) }
+
+// join mints a fresh id, records it live, and returns the join event.
+// Fresh ids only grow, so appending keeps the slice sorted.
+func (ms *membership) join() Event {
+	id := ms.nextID
+	ms.nextID++
+	ms.live = append(ms.live, id)
+	return Event{Op: OpJoin, Node: id}
+}
+
+// leaveAt removes the live node at the given position (id order) and
+// returns the leave event.
+func (ms *membership) leaveAt(pos int) Event {
+	id := ms.live[pos]
+	ms.live = append(ms.live[:pos], ms.live[pos+1:]...)
+	return Event{Op: OpLeave, Node: id}
+}
+
+// route maps a base request over the fixed index space [0, n) onto the
+// current membership: index i addresses the i-th live node (mod size), so a
+// skewed base workload keeps its skew — the hot indices follow whatever
+// nodes currently occupy the hot positions. Returns false when the mapped
+// endpoints collide (caller skips the base request).
+func (ms *membership) route(r Request) (Event, bool) {
+	src := ms.live[r.Src%len(ms.live)]
+	dst := ms.live[r.Dst%len(ms.live)]
+	if src == dst {
+		return Event{}, false
+	}
+	return Event{Op: OpRoute, Src: src, Dst: dst}, true
+}

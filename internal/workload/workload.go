@@ -16,17 +16,41 @@ type Request struct {
 type Generator interface {
 	// Name identifies the generator in experiment tables.
 	Name() string
-	// Generate returns m requests over node indices [0, n).
+	// Generate returns m requests over node indices [0, n). Implementations
+	// panic when (n, m) violates ValidateArgs — the experiment code calls
+	// them with compile-time-known sizes, so a bad argument is a programming
+	// error there. Callers with untrusted input use the package-level
+	// Generate, which validates first and returns an error instead.
 	Generate(n, m int) []Request
 }
 
-func checkArgs(n, m int) {
+// ValidateArgs reports whether (n, m) is a legal generator input: at least
+// two nodes (a request needs distinct endpoints) and a non-negative request
+// count.
+func ValidateArgs(n, m int) error {
 	if n < 2 {
-		panic(fmt.Sprintf("workload: need at least 2 nodes, got %d", n))
+		return fmt.Errorf("workload: need at least 2 nodes, got %d", n)
 	}
 	if m < 0 {
-		panic(fmt.Sprintf("workload: negative request count %d", m))
+		return fmt.Errorf("workload: negative request count %d", m)
 	}
+	return nil
+}
+
+func checkArgs(n, m int) {
+	if err := ValidateArgs(n, m); err != nil {
+		panic(err.Error())
+	}
+}
+
+// Generate is the error-returning entry point to any generator: it validates
+// (n, m) up front and only then invokes g, so callers with runtime-supplied
+// sizes never hit the Generator panic contract.
+func Generate(g Generator, n, m int) ([]Request, error) {
+	if err := ValidateArgs(n, m); err != nil {
+		return nil, err
+	}
+	return g.Generate(n, m), nil
 }
 
 // Uniform picks source and destination independently and uniformly.
