@@ -1,5 +1,5 @@
 // Command dsgexp is the reproducible experiment runner: it executes a
-// configurable grid over the registered paper experiments (E1–E15) and
+// configurable grid over the registered paper experiments (E1–E16) and
 // writes machine-readable results — one CSV and one JSON per experiment
 // plus a BENCH_dsgexp.json summary — to a timestamped output directory.
 // Two runs with the same flags and seed produce byte-identical CSVs, so

@@ -83,12 +83,16 @@ func (s TraceStats) RepairDummiesPerRoute() float64 {
 // membership path with a-balance repair (§IV-G), and the per-node DSG state
 // (timestamps, groups, bases) persists across membership changes — a join
 // or leave never resets the working-set structure the previous routes
-// built. The runner owns the *global* a-balance property: a transformation
-// only repairs the region it touched (its dummies can extend runs below
-// alpha, and a destroyed dummy may have been breaking a lower chain), so
-// after every route the runner restores balance across the whole graph.
-// Before the first event it does the same once, so the validator's
-// guarantees hold from event zero even on the random initial topology.
+// built. The runner owns the global a-balance property, but restores it
+// *locally*: a transformation records every list it dirtied (its dummies
+// can extend runs below alpha, and a destroyed dummy may have been breaking
+// a lower chain), and after every route the runner repairs exactly that
+// dirty set (RepairBalancePending) — nothing outside it can have a new
+// violation. Joins and leaves repair their own touched lists inside
+// Add/RemoveNode. Only before the first event does the runner run the
+// global repair once, so the validator's guarantees hold from event zero
+// even on the random initial topology (whose independent membership bits
+// carry no balance guarantee).
 func (d *DSG) RunTrace(tr workload.Trace, opts TraceOptions) (TraceStats, error) {
 	var st TraceStats
 	d.RepairBalance()
@@ -111,7 +115,7 @@ func (d *DSG) RunTrace(tr workload.Trace, opts TraceOptions) (TraceStats, error)
 			if err != nil {
 				return st, fmt.Errorf("core: trace event %d %s: %w", i, ev, err)
 			}
-			d.RepairBalance()
+			d.RepairBalancePending()
 			st.Routes++
 			st.RouteDistance += res.RouteDistance
 			st.TransformRounds += res.TransformRounds

@@ -101,7 +101,10 @@ func runFuzz(n int, a int, seed int64, ops []fuzzOp) (int, error) {
 			if err != nil {
 				return i, fmt.Errorf("%s: %w", op, err)
 			}
-			d.RepairBalance()
+			// The scoped repair over the transformation's recorded dirty
+			// lists must satisfy the *global* validator below — the fuzz
+			// doubles as the differential test for repair locality.
+			d.RepairBalancePending()
 			if res.RouteDistance > bound {
 				return i, fmt.Errorf("%s: distance %d exceeds a·H+dummies = %d", op, res.RouteDistance, bound)
 			}

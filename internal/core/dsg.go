@@ -18,7 +18,7 @@ func NewFromGraph(g *skipgraph.Graph, cfg Config) *DSG {
 		st:  make(map[*skipgraph.Node]*nodeState, g.N()),
 	}
 	maxID := int64(0)
-	for _, node := range g.Nodes() {
+	for node := range g.All() {
 		if node.ID() > maxID {
 			maxID = node.ID()
 		}
@@ -29,139 +29,59 @@ func NewFromGraph(g *skipgraph.Graph, cfg Config) *DSG {
 	} else {
 		d.finder = &AMFFinder{A: cfg.A, Rng: d.rng}
 	}
-	for _, node := range g.Nodes() {
+	for node := range g.All() {
 		d.st[node] = d.freshState(node)
 	}
 	return d
 }
 
-// Add joins a new node with the given id (key = id) using the standard
+// Add joins a new node with the given id (key = id) using the local
 // skip-graph join with random membership bits, initializes its DSG state,
-// and repairs any a-balance violation the join introduced (§IV-G).
+// and repairs a-balance over exactly the lists the join touched (§IV-G).
+// Nothing outside the join's search path — and the repair's knock-on
+// lists — is read or written.
 func (d *DSG) Add(id int64) (*skipgraph.Node, error) {
 	key := skipgraph.KeyOf(id)
 	if d.g.ByKey(key) != nil {
 		return nil, fmt.Errorf("core: node %d already present", id)
 	}
-	n := d.g.Insert(key, id, func(*skipgraph.Node, int) byte { return byte(d.rng.Intn(2)) })
+	n, eff := d.g.InsertTracked(key, id, func(*skipgraph.Node, int) byte { return byte(d.rng.Intn(2)) })
 	d.st[n] = d.freshState(n)
-	// The join's relink may have lengthened a peer's membership vector to
-	// keep it distinct from the newcomer; grow those peers' state arrays to
-	// match (a node is its own group at its new singleton levels, §IV-B).
-	d.syncStateDepth()
-	d.RepairBalance()
+	// The join may have lengthened adjacent peers' membership vectors to
+	// keep them distinct from the newcomer; grow exactly those peers' state
+	// arrays to match (a node is its own group at its new singleton levels,
+	// §IV-B).
+	for _, x := range eff.Extended {
+		d.syncStateDepthFor(x)
+	}
+	d.joinScan += eff.Work
+	d.RepairBalanceIn(eff.Touched)
 	return n, nil
 }
 
-// syncStateDepth extends every node's per-level state arrays to cover its
+// syncStateDepthFor extends one node's per-level state arrays to cover its
 // current membership vector.
-func (d *DSG) syncStateDepth() {
-	for _, x := range d.g.Nodes() {
-		s := d.state(x)
-		for lvl := len(s.G); lvl <= x.BitsLen()+1; lvl++ {
-			s.setGroup(lvl, x.ID())
-		}
+func (d *DSG) syncStateDepthFor(x *skipgraph.Node) {
+	s := d.state(x)
+	for lvl := len(s.G); lvl <= x.BitsLen()+1; lvl++ {
+		s.setGroup(lvl, x.ID())
 	}
 }
 
-// RemoveNode removes a node (standard skip-graph leave) and repairs any
-// a-balance violation the departure introduced (§IV-G).
+// RemoveNode removes a node (standard skip-graph leave) and repairs
+// a-balance over exactly the lists the departure touched (§IV-G): the
+// node's exit can merge a same-bit run at each level it occupied, and
+// those lists — anchored at surviving neighbours — are the entire dirty
+// set.
 func (d *DSG) RemoveNode(id int64) error {
 	key := skipgraph.KeyOf(id)
-	n := d.g.ByKey(key)
+	n, refs := d.g.RemoveTracked(key)
 	if n == nil {
 		return fmt.Errorf("core: node %d not present", id)
 	}
-	d.g.Remove(key)
 	delete(d.st, n)
-	d.RepairBalance()
+	d.RepairBalanceIn(refs)
 	return nil
-}
-
-// repairStaticBalancePass places dummy nodes to break over-long same-bit
-// chains found outside a transformation (after node addition/removal) and
-// returns how many it inserted. It works from one violation snapshot;
-// RepairBalance iterates it to a fixed point.
-func (d *DSG) repairStaticBalancePass() (inserted, removed int) {
-	a := d.cfg.A
-	for _, viol := range d.g.BalanceViolations(a) {
-		start := d.g.ByKey(viol.Start)
-		if start == nil || !start.HasBit(viol.Level+1) || start.Bit(viol.Level+1) != viol.Bit {
-			continue
-		}
-		list := d.g.ListAt(start, viol.Level)
-		idx := -1
-		for i, x := range list {
-			if x == start {
-				idx = i
-				break
-			}
-		}
-		if idx < 0 {
-			continue
-		}
-		// Recompute the run from the live list: an earlier repair in this
-		// pass may have shortened or shifted the snapshot's run.
-		end := idx
-		for end+1 < len(list) && list[end+1].HasBit(viol.Level+1) && list[end+1].Bit(viol.Level+1) == viol.Bit {
-			end++
-		}
-		if end-idx+1 <= a {
-			continue
-		}
-		// Prefer shortening the run by dropping a redundant in-run dummy —
-		// one whose removal leaves every list it touches balanced. That
-		// keeps the dummy population bounded instead of growing a breaker
-		// for every leak.
-		dropped := false
-		for j := idx; j <= end; j++ {
-			if list[j].IsDummy() && d.dummyRemovable(list[j]) {
-				d.removeDummy(list[j])
-				removed++
-				dropped = true
-				break
-			}
-		}
-		if dropped {
-			continue
-		}
-		// Break the run after its a-th member if that gap has a free key;
-		// otherwise fall back to any other interior gap — every interior
-		// break strictly shortens the run, so the fixed-point loop still
-		// converges.
-		gaps := make([]int, 0, end-idx)
-		for j := idx + a - 1; j < end; j++ {
-			gaps = append(gaps, j)
-		}
-		for j := idx + a - 2; j >= idx; j-- {
-			gaps = append(gaps, j)
-		}
-		for _, j := range gaps {
-			left, right := list[j], list[j+1]
-			key, ok := d.staticFreeKey(left.Key(), right.Key())
-			if !ok {
-				continue
-			}
-			id := d.nextDummyID
-			d.nextDummyID++
-			dm := skipgraph.NewDummy(key, id)
-			for i := 1; i <= viol.Level; i++ {
-				dm.SetBit(i, left.Bit(i))
-			}
-			dm.SetBit(viol.Level+1, 1-viol.Bit)
-			s := &nodeState{B: viol.Level + 1}
-			s.ensure(viol.Level + 2)
-			for i := range s.G {
-				s.G[i] = id
-			}
-			d.st[dm] = s
-			d.g.SpliceIn(dm)
-			d.dummyCount++
-			inserted++
-			break
-		}
-	}
-	return inserted, removed
 }
 
 // dummyRemovable reports whether removing dm keeps every list a-balanced:
@@ -256,7 +176,7 @@ func (d *DSG) checkInvariants(u, v *skipgraph.Node) error {
 	if got := d.state(u).timestamp(dPrime); got != d.clock {
 		return fmt.Errorf("node %d timestamp at pair level %d is %d, want %d", u.ID(), dPrime, got, d.clock)
 	}
-	for _, x := range d.g.Nodes() {
+	for x := range d.g.All() {
 		if x.IsDummy() {
 			continue
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"lsasg/internal/skipgraph"
 )
@@ -10,6 +11,9 @@ import (
 // it checks every structural guarantee the analysis relies on, over the
 // whole network, independent of any particular request. The trace driver
 // and the fuzz tests call it after every event; experiments sample it.
+// Validate is deliberately global — it is the correctness oracle the scoped
+// repair paths (RepairBalanceIn and the local join/leave) are measured
+// against, so it must not share their dirty-list bookkeeping.
 //
 // Checked, in order:
 //  1. structure — strictly sorted level-0 list, link symmetry, and every
@@ -31,7 +35,7 @@ func (d *DSG) Validate() error {
 		return fmt.Errorf("structure: %w", err)
 	}
 	dummies := 0
-	for _, x := range d.g.Nodes() {
+	for x := range d.g.All() {
 		if x.IsDummy() {
 			dummies++
 			if x.Key().Minor == 0 {
@@ -62,7 +66,7 @@ func (d *DSG) Validate() error {
 	if len(d.st) != d.g.N() {
 		return fmt.Errorf("state: %d state entries for %d nodes", len(d.st), d.g.N())
 	}
-	for _, x := range d.g.Nodes() {
+	for x := range d.g.All() {
 		sx, ok := d.st[x]
 		if !ok {
 			return fmt.Errorf("state: node %d has no DSG state", x.ID())
@@ -90,17 +94,19 @@ func (d *DSG) Validate() error {
 // every list balanced); only all-real or irreducible runs get a fresh dummy
 // chain-breaker. One repair pass can itself lengthen a run at a lower level
 // (a new dummy carries the prefix bits of its left neighbour), so the
-// repair iterates to a fixed point. Add, RemoveNode, and the trace runner
-// invoke it automatically (a transformation only repairs the region it
-// touched); callers constructing a DSG from a random topology (whose
-// independent membership bits carry no balance guarantee) run it once
-// before enforcing Validate.
+// repair iterates to a fixed point. This is the global fallback: the hot
+// paths (Add, RemoveNode, the trace runner) use RepairBalanceIn over the
+// lists they actually touched; callers constructing a DSG from a random
+// topology (whose independent membership bits carry no balance guarantee)
+// run the global repair once before enforcing Validate.
 func (d *DSG) RepairBalance() (inserted, removed int) {
+	// A global repair supersedes any recorded per-request dirty set.
+	d.pending = d.pending[:0]
 	// Each pass strictly shrinks the total violation mass except for the
 	// rare lower-level lengthening, so a generous cap only guards against a
 	// repair that cannot make progress (key-space exhaustion).
-	for pass := 0; pass < 4*len(d.g.Nodes())+16; pass++ {
-		ins, rem := d.repairStaticBalancePass()
+	for pass := 0; pass < 4*d.g.N()+16; pass++ {
+		ins, rem, _ := d.repairViolations(d.g.BalanceViolations(d.cfg.A))
 		inserted += ins
 		removed += rem
 		if ins == 0 && rem == 0 {
@@ -114,8 +120,14 @@ func (d *DSG) RepairBalance() (inserted, removed int) {
 	// removable; sweep until a pass finds nothing.
 	for {
 		swept := 0
-		for _, x := range d.g.Nodes() {
-			if x.IsDummy() && d.dummyRemovable(x) {
+		var dummies []*skipgraph.Node
+		for x := range d.g.All() {
+			if x.IsDummy() {
+				dummies = append(dummies, x)
+			}
+		}
+		for _, x := range dummies {
+			if d.dummyRemovable(x) {
 				d.removeDummy(x)
 				swept++
 			}
@@ -130,8 +142,182 @@ func (d *DSG) RepairBalance() (inserted, removed int) {
 	return inserted, removed
 }
 
+// RepairBalanceIn restores the a-balance property over the given dirty
+// lists only, iterating to a fixed point: every repair action (dummy
+// insertion or removal) adds the lists it touched to the dirty set, so
+// knock-on violations at lower levels are chased without ever rescanning
+// untouched parts of the graph. Lists outside the dirty set cannot have
+// new violations by construction — the local join, leave, and repair
+// operations report every list whose membership or bits they changed.
+// Validate (global) remains the correctness oracle for that claim.
+func (d *DSG) RepairBalanceIn(refs []skipgraph.ListRef) (inserted, removed int) {
+	// Each pass scans only the frontier — the refs new since the previous
+	// pass. That loses nothing: a list can only gain a violation through a
+	// repair action, and every action self-reports its lists in `touched`
+	// (a run still over-long after a break is adjacent to the inserted
+	// dummy, whose windowed refs cover it). The accumulated set is kept for
+	// the garbage-collection phase below.
+	frontier := refs
+	var dirty []skipgraph.ListRef
+	for pass := 0; pass < 4*d.g.N()+16 && len(frontier) > 0; pass++ {
+		dirty = append(dirty, frontier...)
+		viols, scanned := d.g.BalanceViolationsIn(d.cfg.A, frontier)
+		d.repairScan += scanned
+		ins, rem, touched := d.repairViolations(viols)
+		inserted += ins
+		removed += rem
+		frontier = touched
+	}
+	// Scoped garbage collection: only a dummy inside a dirty list can have
+	// had the run it was breaking shortened, so only those can have become
+	// redundant since the last repair. After the first sweep, only the
+	// lists around a removal can hold newly redundant dummies.
+	gcFrontier := dirty
+	for {
+		swept := 0
+		var next []skipgraph.ListRef
+		for _, x := range d.dummiesIn(gcFrontier) {
+			if d.g.ByKey(x.Key()) == x && d.dummyRemovable(x) {
+				next = append(next, skipgraph.ExListRefs(x)...)
+				d.removeDummy(x)
+				swept++
+			}
+		}
+		removed += swept
+		if swept == 0 {
+			break
+		}
+		gcFrontier = next
+	}
+	d.repairInserted += inserted
+	d.repairRemoved += removed
+	return inserted, removed
+}
+
+// RepairBalancePending repairs a-balance over the lists the most recent
+// transformation touched (recorded by Serve) and clears the record. The
+// trace runner calls it after every route; callers driving Serve directly
+// may use it as the cheap alternative to the global RepairBalance.
+func (d *DSG) RepairBalancePending() (inserted, removed int) {
+	refs := d.pending
+	d.pending = nil
+	return d.RepairBalanceIn(refs)
+}
+
+// repairViolations repairs one violation snapshot (shorten a run by
+// dropping a redundant in-run dummy, else break it with a fresh dummy
+// chain-breaker) and returns the action counts plus a ListRef for every
+// list the actions touched — the knock-on dirty set a scoped repair must
+// re-examine.
+func (d *DSG) repairViolations(viols []skipgraph.BalanceViolation) (inserted, removed int, touched []skipgraph.ListRef) {
+	a := d.cfg.A
+	for _, viol := range viols {
+		start := d.g.ByKey(viol.Start)
+		if start == nil || !start.HasBit(viol.Level+1) || start.Bit(viol.Level+1) != viol.Bit {
+			continue
+		}
+		// Recompute the run from the live links — an earlier repair in this
+		// pass may have shortened or shifted the snapshot's run — without
+		// ever materializing the containing list (level-0 lists span the
+		// whole graph).
+		run := []*skipgraph.Node{start}
+		for y := start.Next(viol.Level); y != nil && y.HasBit(viol.Level+1) && y.Bit(viol.Level+1) == viol.Bit; y = y.Next(viol.Level) {
+			run = append(run, y)
+		}
+		if len(run) <= a {
+			continue
+		}
+		// Prefer shortening the run by dropping a redundant in-run dummy —
+		// one whose removal leaves every list it touches balanced. That
+		// keeps the dummy population bounded instead of growing a breaker
+		// for every leak.
+		dropped := false
+		for _, y := range run {
+			if y.IsDummy() && d.dummyRemovable(y) {
+				touched = append(touched, skipgraph.ExListRefs(y)...)
+				d.removeDummy(y)
+				removed++
+				dropped = true
+				break
+			}
+		}
+		if dropped {
+			continue
+		}
+		// Break the run after its a-th member if that gap has a free key;
+		// otherwise fall back to any other interior gap — every interior
+		// break strictly shortens the run, so the fixed-point loop still
+		// converges.
+		gaps := make([]int, 0, len(run)-1)
+		for j := a - 1; j < len(run)-1; j++ {
+			gaps = append(gaps, j)
+		}
+		for j := a - 2; j >= 0; j-- {
+			gaps = append(gaps, j)
+		}
+		for _, j := range gaps {
+			left, right := run[j], run[j+1]
+			key, ok := d.staticFreeKey(left.Key(), right.Key())
+			if !ok {
+				continue
+			}
+			id := d.nextDummyID
+			d.nextDummyID++
+			dm := skipgraph.NewDummy(key, id)
+			for i := 1; i <= viol.Level; i++ {
+				dm.SetBit(i, left.Bit(i))
+			}
+			dm.SetBit(viol.Level+1, 1-viol.Bit)
+			s := &nodeState{B: viol.Level + 1}
+			s.ensure(viol.Level + 2)
+			for i := range s.G {
+				s.G[i] = id
+			}
+			d.st[dm] = s
+			d.g.SpliceIn(dm)
+			d.dummyCount++
+			inserted++
+			for l := 0; l <= dm.MaxLinkedLevel(); l++ {
+				touched = append(touched, skipgraph.ListRef{Node: dm, Level: l})
+			}
+			break
+		}
+	}
+	return inserted, removed, touched
+}
+
+// dummiesIn collects the live dummies appearing in any of the given dirty
+// regions, in key order (the same order the global garbage-collection
+// sweep visits them). Only these can have become redundant: removability
+// depends solely on the runs around a dummy, and those changed only inside
+// the dirty windows.
+func (d *DSG) dummiesIn(refs []skipgraph.ListRef) []*skipgraph.Node {
+	seen := make(map[*skipgraph.Node]bool)
+	var out []*skipgraph.Node
+	for _, ref := range refs {
+		window, scanned := d.g.Window(ref)
+		d.repairScan += scanned
+		for _, y := range window {
+			if y.IsDummy() && !seen[y] {
+				seen[y] = true
+				out = append(out, y)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key().Less(out[j].Key()) })
+	return out
+}
+
 // RepairStats returns the cumulative number of dummy insertions and
 // removals RepairBalance has performed over the DSG's lifetime.
 func (d *DSG) RepairStats() (inserted, removed int) {
 	return d.repairInserted, d.repairRemoved
+}
+
+// LocalityWork returns the cumulative deterministic work counters of the
+// scoped membership paths: nodes examined while splicing local joins, and
+// nodes scanned by scoped balance repairs. Experiment E16 reports their
+// per-event deltas to demonstrate sublinear per-join cost.
+func (d *DSG) LocalityWork() (joinScan, repairScan int) {
+	return d.joinScan, d.repairScan
 }

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestLocalRepairCertifiedGlobally is the differential test for the
+// tentpole claim: joins, leaves, and routed requests repair a-balance only
+// over their recorded dirty lists, yet after every single event the
+// *global* validator — whole-graph Verify plus whole-graph
+// BalanceViolations plus state bijection — must certify the result. Any
+// list the local paths fail to report as dirty shows up here as a leaked
+// violation. (TestChurnFuzz covers the same contract at larger scale with
+// shrinking; this test is deterministic, quick, and not skipped in -short.)
+func TestLocalRepairCertifiedGlobally(t *testing.T) {
+	for _, a := range []int{2, 4} {
+		seed := int64(31 + a)
+		rng := rand.New(rand.NewSource(seed))
+		d := New(20, Config{A: a, Seed: seed})
+		d.RepairBalance() // certify the random initial topology once, globally
+		if err := d.Validate(); err != nil {
+			t.Fatalf("a=%d: invalid before any op: %v", a, err)
+		}
+		live := make([]int64, 20)
+		for i := range live {
+			live[i] = int64(i)
+		}
+		next := int64(20)
+		for op := 0; op < 250; op++ {
+			switch r := rng.Float64(); {
+			case r < 0.5:
+				i, j := rng.Intn(len(live)), rng.Intn(len(live))
+				if i == j {
+					continue
+				}
+				if _, err := d.Serve(live[i], live[j]); err != nil {
+					t.Fatalf("a=%d op %d: serve(%d,%d): %v", a, op, live[i], live[j], err)
+				}
+				d.RepairBalancePending()
+			case r < 0.8:
+				if _, err := d.Add(next); err != nil {
+					t.Fatalf("a=%d op %d: add(%d): %v", a, op, next, err)
+				}
+				live = append(live, next)
+				next++
+			default:
+				if len(live) <= 2 {
+					continue
+				}
+				i := rng.Intn(len(live))
+				if err := d.RemoveNode(live[i]); err != nil {
+					t.Fatalf("a=%d op %d: remove(%d): %v", a, op, live[i], err)
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+			if err := d.Validate(); err != nil {
+				t.Fatalf("a=%d op %d: global validator rejects locally repaired graph: %v", a, op, err)
+			}
+		}
+	}
+}
+
+// TestScopedRepairLeavesNoWorkForGlobal pins the fixed-point contract from
+// the other side: right after a scoped repair, a full global RepairBalance
+// must find nothing to insert — every violation was inside the dirty set.
+// (It may still garbage-collect dummies whose redundancy predates the
+// scoped op's dirty window, so only insertions must be zero.)
+func TestScopedRepairLeavesNoWorkForGlobal(t *testing.T) {
+	d := New(48, Config{A: 2, Seed: 77})
+	d.RepairBalance()
+	next := int64(48)
+	rng := rand.New(rand.NewSource(5))
+	for op := 0; op < 60; op++ {
+		if op%2 == 0 {
+			if _, err := d.Add(next); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		} else {
+			if err := d.RemoveNode(rng.Int63n(next - 1)); err != nil {
+				// The random victim may already be gone; pick the newest.
+				if err2 := d.RemoveNode(next - 1); err2 != nil {
+					t.Fatalf("op %d: %v / %v", op, err, err2)
+				}
+				next--
+			}
+		}
+		if ins, _ := d.RepairBalance(); ins != 0 {
+			t.Fatalf("op %d: global repair inserted %d dummies after scoped repair", op, ins)
+		}
+	}
+}
+
+// TestLocalityWorkCounters checks the E16 instrumentation: the counters
+// advance on membership events and their per-event magnitude stays far
+// below the node count — the direct signature of locality.
+func TestLocalityWorkCounters(t *testing.T) {
+	const n = 512
+	d := New(n, Config{A: 4, Seed: 3})
+	d.RepairBalance()
+	j0, r0 := d.LocalityWork()
+	const events = 40
+	for i := int64(0); i < events; i++ {
+		if _, err := d.Add(int64(n) + i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j1, r1 := d.LocalityWork()
+	if j1 <= j0 {
+		t.Fatalf("join counter did not advance: %d -> %d", j0, j1)
+	}
+	if r1 < r0 {
+		t.Fatalf("repair counter went backwards: %d -> %d", r0, r1)
+	}
+	perEvent := float64((j1-j0)+(r1-r0)) / events
+	if perEvent >= n/2 {
+		t.Fatalf("per-join work %.1f is not local for n=%d", perEvent, n)
+	}
+}

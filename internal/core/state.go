@@ -119,6 +119,18 @@ type DSG struct {
 	// RepairBalance), read via RepairStats by the trace runner.
 	repairInserted int
 	repairRemoved  int
+
+	// pending is the dirty-list set the most recent transformation
+	// recorded (destroyed dummies' ex-lists, the relinked region, fresh
+	// dummies' lists); RepairBalancePending consumes it. Each Serve resets
+	// it, so it never grows beyond one request's footprint.
+	pending []skipgraph.ListRef
+
+	// Deterministic locality counters (experiment E16): nodes examined
+	// while splicing local joins, and nodes scanned by scoped balance
+	// repairs.
+	joinScan   int
+	repairScan int
 }
 
 // New creates a DSG over n nodes with keys and identifiers 0..n-1. The
@@ -139,7 +151,7 @@ func New(n int, cfg Config) *DSG {
 	} else {
 		d.finder = &AMFFinder{A: cfg.A, Rng: d.rng}
 	}
-	for _, node := range d.g.Nodes() {
+	for node := range d.g.All() {
 		d.st[node] = d.freshState(node)
 	}
 	return d

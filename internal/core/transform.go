@@ -100,15 +100,23 @@ func (d *DSG) transform(u, v *skipgraph.Node, t int64) RequestResult {
 	}
 	res := RequestResult{Time: t, Alpha: ctx.alpha}
 
+	// Each request records the lists it dirties so the trace runner can
+	// repair a-balance locally afterwards (RepairBalancePending); resetting
+	// here bounds the record to one request for callers that never consume
+	// it.
+	d.pending = d.pending[:0]
+
 	// Dummy nodes destroy themselves upon receiving the transformation
 	// notification (§IV-F): they link their neighbours and vanish. One
 	// refinement over the paper's wording: a dummy placed exactly at level
 	// alpha breaks a chain at level alpha-1, which this transformation
 	// will not rebuild — destroying it would leak an a-balance violation
 	// below the transformed region, so it stays (it still participates in
-	// l_alpha's split as a chain boundary).
+	// l_alpha's split as a chain boundary). A destroyed dummy may have been
+	// breaking chains below alpha, so its ex-lists join the dirty set.
 	for _, x := range d.g.ListAt(u, ctx.alpha) {
 		if x.IsDummy() && x.BitsLen() > ctx.alpha {
+			d.pending = append(d.pending, skipgraph.ExListRefs(x)...)
 			d.g.Remove(x.Key())
 			delete(d.st, x)
 			d.dummyCount--
@@ -174,6 +182,23 @@ func (d *DSG) transform(u, v *skipgraph.Node, t int64) RequestResult {
 	all = append(all, ctx.keptDummies...)
 	sort.Slice(all, func(i, j int) bool { return all[i].Key().Less(all[j].Key()) })
 	d.g.Relink(all, ctx.alpha, nil)
+
+	// Dirty-list record for the scoped post-request repair: every rebuilt
+	// list of the transformed region is dirty end to end (Whole, anchored
+	// at its head so the scoped scan deduplicates for free), while a fresh
+	// dummy's below-alpha splices only dirty the runs around it.
+	for _, x := range all {
+		for l := ctx.alpha; l <= x.MaxLinkedLevel(); l++ {
+			if x.Prev(l) == nil {
+				d.pending = append(d.pending, skipgraph.ListRef{Node: x, Level: l, Whole: true})
+			}
+		}
+	}
+	for _, dm := range ctx.newDummies {
+		for l := 0; l < ctx.alpha; l++ {
+			d.pending = append(d.pending, skipgraph.ListRef{Node: dm, Level: l})
+		}
+	}
 
 	d.applyGroupBaseRules(ctx)
 	d.applyTimestampRules(ctx)

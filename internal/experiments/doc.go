@@ -1,6 +1,6 @@
 // Package experiments is the paper-experiment registry and runner.
 //
-// Each registered Experiment (E1–E15) empirically validates one
+// Each registered Experiment (E1–E16) empirically validates one
 // lemma/theorem of Locally Self-Adjusting Skip Graphs (Huq & Ghosh, ICDCS
 // 2017) or runs one of the comparison studies the paper motivates; the
 // paper itself has no quantitative evaluation section (it is analysis-only),

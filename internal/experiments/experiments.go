@@ -22,16 +22,23 @@ type Scale struct {
 	Requests int   // requests per run
 	Trials   int   // repetitions for randomized subroutines
 	Seed     int64
+	// LocalitySizes are the node counts for the join/leave locality study
+	// (E16). They run far beyond Sizes because sublinear per-event cost
+	// only separates from linear at scale; membership events are cheap, so
+	// large graphs stay affordable.
+	LocalitySizes []int
 }
 
 // Full is the scale used by cmd/dsgbench.
 func Full() Scale {
-	return Scale{Sizes: []int{64, 128, 256}, Requests: 2000, Trials: 20, Seed: 1}
+	return Scale{Sizes: []int{64, 128, 256}, Requests: 2000, Trials: 20, Seed: 1,
+		LocalitySizes: []int{1024, 4096, 16384}}
 }
 
 // Quick is a fast scale for tests and smoke runs.
 func Quick() Scale {
-	return Scale{Sizes: []int{32, 64}, Requests: 300, Trials: 5, Seed: 1}
+	return Scale{Sizes: []int{32, 64}, Requests: 300, Trials: 5, Seed: 1,
+		LocalitySizes: []int{256, 1024}}
 }
 
 // E1AMFQuality validates Lemma 1: the AMF output's rank error stays within

@@ -13,7 +13,7 @@ import (
 // paper), and the runner itself. The registry is the single source of truth
 // consumed by cmd/dsgexp, cmd/dsgbench, the tests, and docs/EXPERIMENTS.md.
 type Experiment struct {
-	// ID is the stable identifier (E1..E15) used for filtering and file names.
+	// ID is the stable identifier (E1..E16) used for filtering and file names.
 	ID string
 	// Name is a short slug (lowercase, hyphenated) for output files.
 	Name string
@@ -26,7 +26,7 @@ type Experiment struct {
 	Run func(Scale) *stats.Table
 }
 
-// Registry returns every registered experiment in canonical (E1..E15) order.
+// Registry returns every registered experiment in canonical (E1..E16) order.
 func Registry() []Experiment {
 	return []Experiment{
 		{
@@ -133,6 +133,13 @@ func Registry() []Experiment {
 			Description: "Churn shape comparison: Poisson turnover vs flash-crowd joins vs correlated departures.",
 			PaperRef:    "§IV-G; Aspnes-Shah §5 (fault tolerance of correlated failures)",
 			Run:         E15ChurnPatterns,
+		},
+		{
+			ID:          "E16",
+			Name:        "join-locality",
+			Description: "Per-membership-event adjustment work grows sublinearly in n: joins, leaves, and balance repair are local.",
+			PaperRef:    "§IV-F/§IV-G (local self-adjustment); Interlaced (2019) decentralized stabilization",
+			Run:         E16JoinLocality,
 		},
 	}
 }

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"lsasg/internal/skipgraph"
+	"lsasg/internal/skiplist"
+)
+
+// simFingerprint captures everything a seeded E12-style run can vary on:
+// the per-execution rounds, totals, and hop counts of a fixed set of
+// distributed sums and routes.
+type simFingerprint struct {
+	SumRounds []int
+	SumTotals []int64
+	Hops      []int64
+	RouteRnds []int
+}
+
+// runSeededSim executes the same seeded workload the E12 experiment uses:
+// pipelined skip-list sums and token-passing routes. Every call must
+// produce identical results — the engine schedules processes in NodeID
+// order, so no map-iteration nondeterminism can leak into the outcome.
+func runSeededSim(t *testing.T) simFingerprint {
+	t.Helper()
+	var fp simFingerprint
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 4; trial++ {
+		n := 50 + 25*trial
+		sl := skiplist.Build(n, 4, rng)
+		values := make([]int64, n)
+		for i := range values {
+			values[i] = int64(rng.Intn(1000))
+		}
+		out, err := DistributedSum(sl, values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp.SumRounds = append(fp.SumRounds, out.Rounds)
+		fp.SumTotals = append(fp.SumTotals, out.Total)
+	}
+	g := skipgraph.NewRandom(64, 17)
+	for i := 0; i < 20; i++ {
+		a := int64(rng.Intn(64))
+		b := int64(rng.Intn(64))
+		res, err := DistributedRoute(g, skipgraph.KeyOf(a), skipgraph.KeyOf(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp.Hops = append(fp.Hops, res.Hops)
+		fp.RouteRnds = append(fp.RouteRnds, res.Rounds)
+	}
+	return fp
+}
+
+// TestEngineDeterministic is the regression test for the engine's schedule:
+// the same seeded workload run twice must agree on every round and hop
+// count. Before the engine iterated NodeIDs in sorted order, map iteration
+// made message emission — and with it seeded E12 results — irreproducible.
+// Run under -count=2 to also cover cross-process variation of map seeds.
+func TestEngineDeterministic(t *testing.T) {
+	first := runSeededSim(t)
+	second := runSeededSim(t)
+	for i := range first.SumRounds {
+		if first.SumRounds[i] != second.SumRounds[i] || first.SumTotals[i] != second.SumTotals[i] {
+			t.Fatalf("sum %d not reproducible: rounds %d vs %d, total %d vs %d",
+				i, first.SumRounds[i], second.SumRounds[i], first.SumTotals[i], second.SumTotals[i])
+		}
+	}
+	for i := range first.Hops {
+		if first.Hops[i] != second.Hops[i] || first.RouteRnds[i] != second.RouteRnds[i] {
+			t.Fatalf("route %d not reproducible: hops %d vs %d, rounds %d vs %d",
+				i, first.Hops[i], second.Hops[i], first.RouteRnds[i], second.RouteRnds[i])
+		}
+	}
+}

@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+	"sort"
+)
 
 // NodeID identifies a simulated process.
 type NodeID int
@@ -61,13 +65,21 @@ func (e *Engine) Add(id NodeID, p Process) {
 
 // Run executes rounds until every process is Done or maxRounds elapses.
 // It returns the number of rounds executed and an error on CONGEST
-// violations or timeout.
+// violations or timeout. Execution is deterministic: processes step in
+// NodeID order and every inbox is sorted by sender, so two runs over the
+// same seeded processes produce identical rounds, message counts, and
+// message orderings (Go map iteration order would not).
 func (e *Engine) Run(maxRounds int) (int, error) {
 	e.Rounds, e.Messages, e.MaxLinkLoad = 0, 0, 0
+	ids := make([]NodeID, 0, len(e.procs))
+	for id := range e.procs {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
 	for round := 1; round <= maxRounds; round++ {
 		allDone := true
-		for _, p := range e.procs {
-			if !p.Done() {
+		for _, id := range ids {
+			if !e.procs[id].Done() {
 				allDone = false
 				break
 			}
@@ -79,7 +91,8 @@ func (e *Engine) Run(maxRounds int) (int, error) {
 
 		next := make(map[NodeID][]Message)
 		linkLoad := make(map[[2]NodeID]int)
-		for id, p := range e.procs {
+		for _, id := range ids {
+			p := e.procs[id]
 			inbox := e.inboxes[id]
 			out := p.Step(round, inbox)
 			for _, m := range out {
@@ -107,6 +120,11 @@ func (e *Engine) Run(maxRounds int) (int, error) {
 			if load > e.MaxLinkLoad {
 				e.MaxLinkLoad = load
 			}
+		}
+		// At most one message per directed link per round, so senders are
+		// unique within an inbox and sorting by sender is a total order.
+		for _, msgs := range next {
+			sort.Slice(msgs, func(i, j int) bool { return msgs[i].From < msgs[j].From })
 		}
 		e.inboxes = next
 	}

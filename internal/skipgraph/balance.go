@@ -58,6 +58,124 @@ func (g *Graph) BalanceViolations(a int) []BalanceViolation {
 	return out
 }
 
+// BalanceViolationsIn is the scoped counterpart of BalanceViolations: it
+// checks only the dirty regions named by refs, which must cover every list
+// whose membership or next-level bits changed since the graph was last
+// balanced (local joins, leaves, and repairs report exactly that set). A
+// windowed ref scans the anchor's run neighbourhood — O(a) when the graph
+// was balanced before the change — and a Whole ref scans its entire list.
+// Stale refs (nodes no longer in the graph) are skipped. The second result
+// is the number of nodes examined, the deterministic work measure
+// experiment E16 reports.
+func (g *Graph) BalanceViolationsIn(a int, refs []ListRef) ([]BalanceViolation, int) {
+	if a < 1 {
+		panic(fmt.Sprintf("skipgraph: balance parameter must be >= 1, got %d", a))
+	}
+	type regionID struct {
+		anchor *Node
+		level  int
+		whole  bool
+	}
+	seen := make(map[regionID]bool, len(refs))
+	scanned := 0
+	var out []BalanceViolation
+	for _, ref := range refs {
+		x := ref.Node
+		if x == nil || ref.Level < 0 || g.byKey[x.key] != x {
+			continue
+		}
+		id := regionID{anchor: x, level: ref.Level, whole: ref.Whole}
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		window, n := g.dirtyWindow(ref)
+		scanned += n
+		out = append(out, listRunViolations(window, ref.Level, a)...)
+	}
+	return out, scanned
+}
+
+// Window materializes the dirty region a ref names (see ListRef): the
+// anchor's run neighbourhood, or the whole list for a Whole ref. It returns
+// nil for a stale ref. The second result is the number of nodes walked.
+func (g *Graph) Window(ref ListRef) ([]*Node, int) {
+	if ref.Node == nil || ref.Level < 0 || g.byKey[ref.Node.key] != ref.Node {
+		return nil, 0
+	}
+	return g.dirtyWindow(ref)
+}
+
+// dirtyWindow materializes the list segment a ref marks dirty, in key
+// order, plus the number of nodes walked. For a windowed ref that is the
+// anchor's maximal same-bit run (w.r.t. the next level's bit; a node
+// lacking the bit forms its own boundary run) extended by the complete
+// adjacent run on each side — every run a mutation at the anchor's position
+// can have changed, with both edge runs complete so run lengths measured
+// inside the window are exact. For a Whole ref it is the full list.
+func (g *Graph) dirtyWindow(ref ListRef) ([]*Node, int) {
+	x, level := ref.Node, ref.Level
+	scanned := 1
+	if ref.Whole {
+		head := x
+		for head.Prev(level) != nil {
+			head = head.Prev(level)
+			scanned++
+		}
+		var window []*Node
+		for y := head; y != nil; y = y.Next(level) {
+			window = append(window, y)
+			scanned++
+		}
+		return window, scanned
+	}
+	var before, after []*Node
+	for cur, cross := x, 0; ; {
+		p := cur.Prev(level)
+		if p == nil {
+			break
+		}
+		if runBoundary(p, cur, level+1) {
+			cross++
+			if cross > 1 {
+				break
+			}
+		}
+		before = append(before, p)
+		cur = p
+		scanned++
+	}
+	for cur, cross := x, 0; ; {
+		nx := cur.Next(level)
+		if nx == nil {
+			break
+		}
+		if runBoundary(cur, nx, level+1) {
+			cross++
+			if cross > 1 {
+				break
+			}
+		}
+		after = append(after, nx)
+		cur = nx
+		scanned++
+	}
+	window := make([]*Node, 0, len(before)+1+len(after))
+	for i := len(before) - 1; i >= 0; i-- {
+		window = append(window, before[i])
+	}
+	window = append(window, x)
+	window = append(window, after...)
+	return window, scanned
+}
+
+// runBoundary reports whether adjacent list members y (left) and z (right)
+// belong to different runs w.r.t. the level-`bitLevel` membership bit: a
+// node lacking the bit never extends a run.
+func runBoundary(y, z *Node, bitLevel int) bool {
+	return !y.HasBit(bitLevel) || !z.HasBit(bitLevel) || y.Bit(bitLevel) != z.Bit(bitLevel)
+}
+
 // listRunViolations finds over-long same-bit runs inside one list. Runs
 // consisting solely of dummy nodes are exempt: dummies never split further,
 // so such a run costs nothing at the next level, and demanding a chain

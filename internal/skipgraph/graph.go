@@ -2,6 +2,7 @@ package skipgraph
 
 import (
 	"fmt"
+	"iter"
 	"math/rand"
 	"sort"
 )
@@ -115,6 +116,25 @@ func (g *Graph) Nodes() []*Node {
 	return append([]*Node(nil), g.nodes...)
 }
 
+// All returns an in-order iterator over the nodes (dummies included)
+// without copying the backing slice. The graph must not be mutated while
+// iterating; callers that mutate should collect into a slice first (or use
+// Nodes).
+func (g *Graph) All() iter.Seq[*Node] {
+	return func(yield func(*Node) bool) {
+		for _, n := range g.nodes {
+			if !yield(n) {
+				return
+			}
+		}
+	}
+}
+
+// dirty invalidates the cached height. Every mutator — anything that adds
+// or removes a node, rewrites links, or extends a membership vector — must
+// call it before touching the structure.
+func (g *Graph) dirty() { g.height = -1 }
+
 // ByKey returns the node with the given key, or nil.
 func (g *Graph) ByKey(k Key) *Node { return g.byKey[k] }
 
@@ -131,7 +151,7 @@ func (g *Graph) Head() *Node {
 // brancher (nil brancher panics on a missing bit). The subset must be the
 // complete membership of one level-`level` list.
 func (g *Graph) Relink(nodes []*Node, level int, brancher Brancher) {
-	g.height = -1
+	g.dirty()
 	g.relink(nodes, level, brancher)
 }
 
@@ -170,6 +190,7 @@ func (g *Graph) relink(nodes []*Node, level int, brancher Brancher) {
 // relinkPartial is like relink but stops splitting a list when any member
 // lacks the next bit (used for truncated figure reconstructions).
 func (g *Graph) relinkPartial(nodes []*Node, level int) {
+	g.dirty()
 	linkChain(nodes, level)
 	if len(nodes) < 2 {
 		if len(nodes) == 1 {
@@ -257,7 +278,7 @@ func (g *Graph) spliceIn(n *Node) {
 	if _, ok := g.byKey[n.key]; ok {
 		panic(fmt.Sprintf("skipgraph: duplicate key %v", n.key))
 	}
-	g.height = -1
+	g.dirty()
 	pos := sort.Search(len(g.nodes), func(i int) bool { return n.key.Less(g.nodes[i].key) })
 	g.nodes = append(g.nodes, nil)
 	copy(g.nodes[pos+1:], g.nodes[pos:])
@@ -298,7 +319,7 @@ func (g *Graph) spliceOut(n *Node) {
 	if g.byKey[n.key] != n {
 		panic(fmt.Sprintf("skipgraph: node %v not in graph", n.key))
 	}
-	g.height = -1
+	g.dirty()
 	pos := sort.Search(len(g.nodes), func(i int) bool { return !g.nodes[i].key.Less(n.key) })
 	g.nodes = append(g.nodes[:pos], g.nodes[pos+1:]...)
 	delete(g.byKey, n.key)
@@ -324,26 +345,176 @@ func samePrefix(a, b *Node, level int) bool {
 	return true
 }
 
+// ListRef names a dirty region of one linked list: a live anchor node plus
+// the list's level. Mutating operations report ListRefs for everything they
+// touched so a-balance repair can stay local (§IV-F/§IV-G) instead of
+// rescanning the whole graph. By default the dirty region is the *window*
+// around the anchor — its same-bit run plus the complete adjacent run on
+// each side, the only runs a splice, departure, or bit extension at the
+// anchor's position can have changed. Whole marks the entire list dirty,
+// used when a transformation rebuilt it outright.
+type ListRef struct {
+	Node  *Node
+	Level int
+	Whole bool
+}
+
+// JoinEffect reports what a local join touched.
+type JoinEffect struct {
+	// Touched names every list that gained a member or whose run structure
+	// changed (a newly drawn bit turns a run boundary into a run member).
+	Touched []ListRef
+	// Extended lists the pre-existing peers whose membership vectors grew
+	// to stay distinct from the newcomer.
+	Extended []*Node
+	// Work is a deterministic count of the nodes examined while splicing —
+	// the locality measure reported by experiment E16.
+	Work int
+}
+
 // Insert adds a real node with the given key and id, assigning membership
 // bits via brancher until singleton (standard skip-graph join, §IV-G).
 func (g *Graph) Insert(key Key, id int64, brancher Brancher) *Node {
-	if _, ok := g.byKey[key]; ok {
-		panic(fmt.Sprintf("skipgraph: duplicate key %v", key))
-	}
-	n := NewNode(key, id)
-	pos := sort.Search(len(g.nodes), func(i int) bool { return key.Less(g.nodes[i].key) })
-	g.nodes = append(g.nodes, nil)
-	copy(g.nodes[pos+1:], g.nodes[pos:])
-	g.nodes[pos] = n
-	g.byKey[key] = n
-	// Relinking with the brancher assigns the new node's bits lazily and
-	// extends any peer whose vector is now too short to stay distinct.
-	g.Relink(g.nodes, 0, brancher)
+	n, _ := g.InsertTracked(key, id, brancher)
 	return n
 }
 
+// InsertTracked adds a real node via a local join: the newcomer splices
+// into the base list, then draws membership bits level by level, linking
+// into exactly the lists it enters. A real peer left directly adjacent to
+// another real node at the top of its vector draws further bits until
+// distinct again; no node outside the join's search path is touched. With
+// a nil brancher the node only splices into the base list (it carries no
+// bits to go higher). The returned effect names every touched list — the
+// dirty set a scoped balance repair must examine — and every extended peer.
+func (g *Graph) InsertTracked(key Key, id int64, brancher Brancher) (*Node, JoinEffect) {
+	n := NewNode(key, id)
+	g.spliceIn(n) // a fresh node carries no bits, so this links level 0 only
+	eff := JoinEffect{Touched: []ListRef{{Node: n, Level: 0}}, Work: 1}
+	if brancher != nil {
+		g.localJoin(n, brancher, &eff)
+	}
+	return n, eff
+}
+
+// localJoin assigns membership bits to the freshly spliced node until it is
+// singleton at its top level. Invariant restored: no real node sits
+// directly next to another real node at the top of its own vector (the
+// distinctness the validator checks), so any real peer the newcomer lands
+// beside at that peer's top level extends too, cascading only along
+// adjacency. Bits are drawn one level at a time in key order — the same
+// order a global relink restricted to these lists would use.
+func (g *Graph) localJoin(n *Node, brancher Brancher, eff *JoinEffect) {
+	cand := []*Node{n}
+	for _, nb := range []*Node{n.Prev(0), n.Next(0)} {
+		if nb != nil && !nb.dummy && nb.BitsLen() == 0 {
+			cand = append(cand, nb)
+		}
+	}
+	extended := make(map[*Node]bool)
+	for level := 0; len(cand) > 0; level++ {
+		bitLevel := level + 1
+		ext := cand[:0]
+		for _, x := range cand {
+			if x.BitsLen() != level {
+				continue // already extended past this level
+			}
+			if x == n {
+				// The newcomer keeps drawing while it has any neighbour —
+				// dummies included — exactly like the recursive construction.
+				if x.Prev(level) != nil || x.Next(level) != nil {
+					ext = append(ext, x)
+				}
+			} else if hasRealNeighbor(x, level) {
+				ext = append(ext, x)
+			}
+		}
+		if len(ext) == 0 {
+			return
+		}
+		sort.Slice(ext, func(i, j int) bool { return ext[i].key.Less(ext[j].key) })
+		for _, x := range ext {
+			x.SetBit(bitLevel, brancher(x, bitLevel))
+		}
+		var next []*Node
+		queued := make(map[*Node]bool, len(ext)+2)
+		push := func(x *Node) {
+			if !queued[x] {
+				queued[x] = true
+				next = append(next, x)
+			}
+		}
+		for _, x := range ext {
+			eff.Work += g.spliceAtLevel(x, bitLevel)
+			eff.Touched = append(eff.Touched, ListRef{Node: x, Level: bitLevel})
+			if x != n && !extended[x] {
+				extended[x] = true
+				eff.Extended = append(eff.Extended, x)
+			}
+			push(x)
+			// Splicing x can strand a real neighbour at the top of its
+			// vector; it must extend next round.
+			for _, nb := range []*Node{x.Prev(bitLevel), x.Next(bitLevel)} {
+				if nb != nil && !nb.dummy && nb.BitsLen() == bitLevel {
+					push(nb)
+				}
+			}
+		}
+		cand = next
+	}
+}
+
+// spliceAtLevel links x into the level-m list it belongs to by scanning its
+// level-(m-1) list for the nearest members sharing x's level-m bit. The
+// a-balance property bounds the scan to O(a) plus intervening dummies. It
+// returns the number of nodes examined.
+func (g *Graph) spliceAtLevel(x *Node, m int) int {
+	work := 1
+	b := x.Bit(m)
+	var left, right *Node
+	for y := x.Prev(m - 1); y != nil; y = y.Prev(m - 1) {
+		work++
+		if y.HasBit(m) && y.Bit(m) == b {
+			left = y
+			break
+		}
+	}
+	for y := x.Next(m - 1); y != nil; y = y.Next(m - 1) {
+		work++
+		if y.HasBit(m) && y.Bit(m) == b {
+			right = y
+			break
+		}
+	}
+	x.setLink(m, left, right)
+	if left != nil {
+		left.setLink(m, left.Prev(m), x)
+	}
+	if right != nil {
+		right.setLink(m, x, right.Next(m))
+	}
+	return work
+}
+
+// hasRealNeighbor reports whether x has a real (non-dummy) direct
+// neighbour at level l. At l == x.BitsLen() this is exactly the
+// distinctness requirement: a real node must not share the top of its
+// membership vector with an adjacent real node.
+func hasRealNeighbor(x *Node, l int) bool {
+	if p := x.Prev(l); p != nil && !p.dummy {
+		return true
+	}
+	if nx := x.Next(l); nx != nil && !nx.dummy {
+		return true
+	}
+	return false
+}
+
 // Remove deletes the node with the given key (standard skip-graph leave).
-// It returns the removed node, or nil if the key is absent.
+// It returns the removed node, or nil if the key is absent. Callers that
+// need the departure's dirty set use RemoveTracked instead — Remove itself
+// computes none, so repair paths that already hold the refs pay nothing
+// extra.
 func (g *Graph) Remove(key Key) *Node {
 	n := g.byKey[key]
 	if n == nil {
@@ -351,6 +522,36 @@ func (g *Graph) Remove(key Key) *Node {
 	}
 	g.spliceOut(n)
 	return n
+}
+
+// RemoveTracked deletes the node with the given key and returns, for every
+// list the node occupied, a ListRef anchored at a surviving neighbour — the
+// dirty set a scoped balance repair must re-examine, since a departure can
+// merge two same-bit runs. It returns (nil, nil) when the key is absent.
+func (g *Graph) RemoveTracked(key Key) (*Node, []ListRef) {
+	n := g.byKey[key]
+	if n == nil {
+		return nil, nil
+	}
+	refs := ExListRefs(n)
+	g.spliceOut(n)
+	return n, refs
+}
+
+// ExListRefs returns, for every list n occupies, a ListRef anchored at a
+// neighbour, so the refs stay valid after n itself leaves the graph. This
+// is the dirty set of a departure: each level's run structure can only
+// have changed around the vacated position.
+func ExListRefs(n *Node) []ListRef {
+	var refs []ListRef
+	for l := 0; l <= n.MaxLinkedLevel(); l++ {
+		if p := n.Prev(l); p != nil {
+			refs = append(refs, ListRef{Node: p, Level: l})
+		} else if nx := n.Next(l); nx != nil {
+			refs = append(refs, ListRef{Node: nx, Level: l})
+		}
+	}
+	return refs
 }
 
 // Verify checks every structural invariant: strict base-key order, link
