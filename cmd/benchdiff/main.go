@@ -1,0 +1,177 @@
+// Command benchdiff is the CI perf-regression gate: it parses two `go test
+// -bench` output files (typically the PR head and its merge-base, each run
+// with -count N), aggregates each benchmark's ns/op as the minimum across
+// counts (the least-noisy point estimate on a shared runner), and fails when
+// any benchmark matching -match regressed by more than -threshold.
+//
+// Benchmarks present only in the new file are reported as new and never
+// fail the gate (a PR may introduce the benchmark it is gated on);
+// benchmarks that disappeared from the new file DO fail it, so a regression
+// cannot hide behind a rename. benchstat remains the human-readable
+// companion — benchdiff only decides pass/fail.
+//
+// Usage:
+//
+//	benchdiff -old base.txt -new head.txt -match 'E10|E13|E16|E17' -threshold 0.25
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	var (
+		oldPath   = flag.String("old", "", "baseline `go test -bench` output (merge-base)")
+		newPath   = flag.String("new", "", "candidate `go test -bench` output (PR head)")
+		match     = flag.String("match", "", "regexp selecting the gated benchmarks (empty = all)")
+		threshold = flag.Float64("threshold", 0.25, "maximum tolerated ns/op regression (0.25 = +25%)")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fail("both -old and -new are required")
+	}
+	re, err := regexp.Compile(*match)
+	if err != nil {
+		fail("bad -match regexp: %v", err)
+	}
+	oldRes, err := parseFile(*oldPath)
+	if err != nil {
+		fail("%v", err)
+	}
+	newRes, err := parseFile(*newPath)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	verdicts, failed := compare(oldRes, newRes, re, *threshold)
+	for _, v := range verdicts {
+		fmt.Println(v)
+	}
+	if failed > 0 {
+		fail("%d gated benchmark(s) regressed by more than %.0f%%", failed, *threshold*100)
+	}
+	fmt.Printf("benchdiff: no gated benchmark regressed by more than %.0f%%\n", *threshold*100)
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "benchdiff: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// procsSuffix matches the trailing "-<GOMAXPROCS>" go test appends to
+// benchmark names (absent when GOMAXPROCS is 1), stripped so runs from
+// machines reporting different suffixes still line up.
+var procsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseLine extracts (name, ns/op) from one benchmark result line, e.g.
+//
+//	BenchmarkE10_RouteOnly-4   123456   9876 ns/op   120 B/op  3 allocs/op
+//
+// ok reports whether the line was a benchmark result carrying ns/op.
+func parseLine(line string) (name string, nsPerOp float64, ok bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", 0, false
+	}
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return "", 0, false
+	}
+	for i := 3; i < len(f); i++ {
+		if f[i] == "ns/op" {
+			v, err := strconv.ParseFloat(f[i-1], 64)
+			if err != nil {
+				return "", 0, false
+			}
+			return procsSuffix.ReplaceAllString(f[0], ""), v, true
+		}
+	}
+	return "", 0, false
+}
+
+// parse collects every benchmark's ns/op samples (one per -count).
+func parse(r io.Reader) (map[string][]float64, error) {
+	out := make(map[string][]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		if name, v, ok := parseLine(sc.Text()); ok {
+			out[name] = append(out[name], v)
+		}
+	}
+	return out, sc.Err()
+}
+
+func parseFile(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	res, err := parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if len(res) == 0 {
+		return nil, fmt.Errorf("no benchmark results in %s", path)
+	}
+	return res, nil
+}
+
+func minOf(vs []float64) float64 {
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// compare produces one verdict line per gated benchmark and the number of
+// failures (regressions beyond the threshold, plus gated benchmarks missing
+// from the new run).
+func compare(oldRes, newRes map[string][]float64, re *regexp.Regexp, threshold float64) (verdicts []string, failed int) {
+	names := make(map[string]bool, len(oldRes)+len(newRes))
+	for n := range oldRes {
+		names[n] = true
+	}
+	for n := range newRes {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		if re.MatchString(n) {
+			sorted = append(sorted, n)
+		}
+	}
+	sort.Strings(sorted)
+	for _, n := range sorted {
+		oldVs, inOld := oldRes[n]
+		newVs, inNew := newRes[n]
+		switch {
+		case !inOld:
+			verdicts = append(verdicts, fmt.Sprintf("NEW   %-50s %12.1f ns/op (no baseline)", n, minOf(newVs)))
+		case !inNew:
+			verdicts = append(verdicts, fmt.Sprintf("GONE  %-50s benchmark disappeared from the new run", n))
+			failed++
+		default:
+			o, nw := minOf(oldVs), minOf(newVs)
+			delta := nw/o - 1
+			status := "OK   "
+			if delta > threshold {
+				status = "FAIL "
+				failed++
+			}
+			verdicts = append(verdicts, fmt.Sprintf("%s %-50s %12.1f → %12.1f ns/op  %+6.1f%%",
+				status, n, o, nw, delta*100))
+		}
+	}
+	return verdicts, failed
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const oldBench = `goos: linux
+BenchmarkE10_RouteOnly-4    500000   1000 ns/op   12 B/op  1 allocs/op
+BenchmarkE10_RouteOnly-4    480000   1050 ns/op   12 B/op  1 allocs/op
+BenchmarkE13_ChurnTrace-4       50  90000 ns/op
+BenchmarkE16_Join/n=1024-4    2000   4000 ns/op
+BenchmarkGone_Thing-4         1000   1111 ns/op
+BenchmarkE3_ServeUniform-4    1000  50000 ns/op
+PASS
+`
+
+const newBench = `goos: linux
+BenchmarkE10_RouteOnly-4    500000   1300 ns/op   12 B/op  1 allocs/op
+BenchmarkE10_RouteOnly-4    480000   1200 ns/op   12 B/op  1 allocs/op
+BenchmarkE13_ChurnTrace-4       50  91000 ns/op
+BenchmarkE16_Join/n=1024-4    2000   3000 ns/op
+BenchmarkE17_ServeParallel/p=4-4  9999  100 ns/op  0.25 applied/req
+BenchmarkE3_ServeUniform-4    1000 500000 ns/op
+PASS
+`
+
+func parseString(t *testing.T, s string) map[string][]float64 {
+	t.Helper()
+	res, err := parse(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestParse(t *testing.T) {
+	res := parseString(t, oldBench)
+	if got := len(res["BenchmarkE10_RouteOnly"]); got != 2 {
+		t.Fatalf("E10 samples = %d, want 2 (procs suffix stripped, counts collected)", got)
+	}
+	if res["BenchmarkE13_ChurnTrace"][0] != 90000 {
+		t.Errorf("E13 ns/op = %v", res["BenchmarkE13_ChurnTrace"])
+	}
+	if _, ok := res["BenchmarkE16_Join/n=1024"]; !ok {
+		t.Error("sub-benchmark name not preserved")
+	}
+}
+
+func TestParseLineRejectsNonResults(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"Benchmark",
+		"BenchmarkX-4 1000", // no ns/op
+		"ok  lsasg 1.2s",
+	} {
+		if _, _, ok := parseLine(line); ok {
+			t.Errorf("line %q parsed as a result", line)
+		}
+	}
+	name, v, ok := parseLine("BenchmarkE17_ServeParallel/p=4-4  9999  100 ns/op  0.25 applied/req")
+	if !ok || name != "BenchmarkE17_ServeParallel/p=4" || v != 100 {
+		t.Errorf("parsed (%q, %v, %v)", name, v, ok)
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	oldRes := parseString(t, oldBench)
+	newRes := parseString(t, newBench)
+	re := regexp.MustCompile(`E10|E13|E16|E17|Gone`)
+
+	verdicts, failed := compare(oldRes, newRes, re, 0.25)
+	joined := strings.Join(verdicts, "\n")
+
+	// E10: min 1000 → min 1200 = +20%, inside the 25% gate.
+	if !strings.Contains(joined, "OK    BenchmarkE10_RouteOnly") {
+		t.Errorf("E10 should pass at +20%%:\n%s", joined)
+	}
+	// E16 improved; E13 +1.1%.
+	if strings.Contains(joined, "FAIL  BenchmarkE16") || strings.Contains(joined, "FAIL  BenchmarkE13") {
+		t.Errorf("improvement/noise flagged as regression:\n%s", joined)
+	}
+	// E17 is new: reported, not failed.
+	if !strings.Contains(joined, "NEW   BenchmarkE17_ServeParallel/p=4") {
+		t.Errorf("new benchmark not reported:\n%s", joined)
+	}
+	// Gone benchmark must fail the gate.
+	if !strings.Contains(joined, "GONE  BenchmarkGone_Thing") || failed != 1 {
+		t.Errorf("failed=%d, want 1 (disappeared benchmark):\n%s", failed, joined)
+	}
+	// E3 regressed 10× but is outside -match.
+	if strings.Contains(joined, "E3_ServeUniform") {
+		t.Errorf("unmatched benchmark leaked into the gate:\n%s", joined)
+	}
+
+	// Tighten the threshold: E10's +20% now fails too.
+	_, failed = compare(oldRes, newRes, re, 0.10)
+	if failed != 2 {
+		t.Errorf("at 10%% threshold failed=%d, want 2", failed)
+	}
+}

@@ -1,16 +1,22 @@
-// Command dsgbench renders the experiment tables as human-readable text on
-// stdout: empirical validations of every lemma/theorem in the paper plus
-// the comparison studies against the static skip graph and SplayNet. It is
-// the interactive twin of cmd/dsgexp, which runs the same registry but
-// writes machine-readable CSV/JSON result files.
+// Command dsgbench renders the experiment tables as human-readable text:
+// empirical validations of every lemma/theorem in the paper plus the
+// comparison studies against the static skip graph and SplayNet. It is the
+// interactive twin of cmd/dsgexp, which runs the same registry but writes
+// machine-readable CSV/JSON result files.
+//
+// Like every binary in this repo, -seed fixes the deterministic stream and
+// -out captures the report (a file here; stdout when empty). Timing goes to
+// stderr, so two runs with the same -seed produce byte-identical captured
+// output — except E17, whose requests/sec and lag columns are wall-clock
+// measurements by design.
 //
 // Usage:
 //
-//	dsgbench                 # run every experiment at full scale
-//	dsgbench -run E1,E8      # run selected experiments
-//	dsgbench -quick          # smaller sizes (seconds instead of minutes)
-//	dsgbench -seed 7         # change the random seed
-//	dsgbench -list           # list registered experiments and exit
+//	dsgbench                      # run every experiment at full scale
+//	dsgbench -run E1,E8           # run selected experiments
+//	dsgbench -quick -out rep.txt  # smaller sizes, report into rep.txt
+//	dsgbench -seed 7              # change the random seed
+//	dsgbench -list                # list registered experiments and exit
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"fmt"
 	"os"
 
+	"lsasg/internal/cliutil"
 	"lsasg/internal/experiments"
 )
 
@@ -25,8 +32,9 @@ func main() {
 	var (
 		run   = flag.String("run", "", "comma-separated experiment ids (e.g. E1,E8); empty = all")
 		quick = flag.Bool("quick", false, "run at reduced scale")
-		seed  = flag.Int64("seed", 1, "random seed")
 		list  = flag.Bool("list", false, "list registered experiments and exit")
+		seed  = cliutil.AddSeed(flag.CommandLine)
+		out   = cliutil.AddOut(flag.CommandLine, "write the rendered tables to this file (default stdout)")
 	)
 	flag.Parse()
 
@@ -43,16 +51,25 @@ func main() {
 
 	selected, err := experiments.Select(*run)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dsgbench: %v\n", err)
-		os.Exit(2)
+		cliutil.Fail("dsgbench", "%v", err)
+	}
+	w, err := cliutil.Output(*out)
+	if err != nil {
+		cliutil.Fail("dsgbench", "%v", err)
 	}
 	for _, e := range selected {
 		res, err := experiments.Run(e, experiments.RunConfig{Scale: sc})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dsgbench: %v\n", err)
-			os.Exit(1)
+			cliutil.Fail("dsgbench", "%v", err)
 		}
-		res.Table.Render(os.Stdout)
-		fmt.Printf("(%s [%s] in %.1fs)\n\n", e.ID, e.PaperRef, res.Elapsed.Seconds())
+		res.Table.Render(w)
+		fmt.Fprintf(w, "(%s [%s])\n\n", e.ID, e.PaperRef)
+		fmt.Fprintf(os.Stderr, "dsgbench: %s in %.1fs\n", e.ID, res.Elapsed.Seconds())
+	}
+	if err := w.Close(); err != nil {
+		cliutil.Fail("dsgbench", "closing %s: %v", *out, err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "dsgbench: report at %s\n", *out)
 	}
 }

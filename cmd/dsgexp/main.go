@@ -1,10 +1,11 @@
 // Command dsgexp is the reproducible experiment runner: it executes a
-// configurable grid over the registered paper experiments (E1–E16) and
+// configurable grid over the registered paper experiments (E1–E17) and
 // writes machine-readable results — one CSV and one JSON per experiment
 // plus a BENCH_dsgexp.json summary — to a timestamped output directory.
 // Two runs with the same flags and seed produce byte-identical CSVs, so
 // result files can be diffed across commits to track the performance
-// trajectory of the implementation.
+// trajectory of the implementation. (E17 is the one exemption: its
+// requests/sec and adjustment-lag columns are wall-clock measurements.)
 //
 // Usage:
 //
@@ -24,8 +25,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"time"
 
+	"lsasg/internal/cliutil"
 	"lsasg/internal/experiments"
 )
 
@@ -34,12 +35,12 @@ func main() {
 		quick   = flag.Bool("quick", false, "run at reduced scale (seconds per experiment)")
 		full    = flag.Bool("full", false, "run at full scale (the default)")
 		repeats = flag.Int("repeats", 1, "independent repetitions per experiment, aggregated as mean/sd")
-		seed    = flag.Int64("seed", 1, "base random seed; per-experiment seeds derive from it")
 		only    = flag.String("only", "", "comma-separated experiment ids to run (e.g. E5,E8); empty = all")
-		out     = flag.String("out", "", "output directory (default dsgexp_runs/<timestamp>)")
 		par     = flag.Int("par", 0, "max experiments running concurrently (0 = GOMAXPROCS)")
 		bench   = flag.String("bench", "", "also write the BENCH_dsgexp.json summary to this path")
 		list    = flag.Bool("list", false, "list registered experiments and exit")
+		seed    = cliutil.AddSeed(flag.CommandLine)
+		out     = cliutil.AddOut(flag.CommandLine, "output directory (default dsgexp_runs/<timestamp>)")
 	)
 	flag.Parse()
 
@@ -66,7 +67,7 @@ func main() {
 
 	outDir := *out
 	if outDir == "" {
-		outDir = filepath.Join("dsgexp_runs", time.Now().Format("20060102_150405"))
+		outDir = cliutil.DefaultRunDir("dsgexp")
 	}
 
 	fmt.Printf("dsgexp: %d experiment(s), scale=%s, seed=%d, repeats=%d → %s\n",
@@ -104,6 +105,5 @@ func main() {
 }
 
 func fail(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "dsgexp: "+format+"\n", args...)
-	os.Exit(1)
+	cliutil.Fail("dsgexp", format, args...)
 }

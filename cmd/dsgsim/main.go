@@ -1,18 +1,23 @@
 // Command dsgsim runs one self-adjusting skip-graph simulation and prints
 // per-request traces and a summary.
 //
+// Like every binary in this repo, -seed fixes the deterministic stream and
+// -out captures the report (a file here; stdout when empty), so two runs
+// with the same flags and seed produce byte-identical captured output.
+//
 // Usage:
 //
 //	dsgsim -n 64 -m 500 -workload zipf -s 1.3
 //	dsgsim -n 128 -m 2000 -workload temporal -w 8 -trace=false
+//	dsgsim -n 64 -m 500 -seed 7 -out run.txt
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
 
 	"lsasg"
+	"lsasg/internal/cliutil"
 	"lsasg/internal/workload"
 )
 
@@ -25,8 +30,9 @@ func main() {
 		w       = flag.Int("w", 8, "temporal working-set size")
 		k       = flag.Int("k", 4, "hot pair count")
 		balance = flag.Int("a", 4, "a-balance parameter")
-		seed    = flag.Int64("seed", 1, "random seed")
 		trace   = flag.Bool("trace", true, "print per-request lines")
+		seed    = cliutil.AddSeed(flag.CommandLine)
+		out     = cliutil.AddOut(flag.CommandLine, "write the trace and summary to this file (default stdout)")
 	)
 	flag.Parse()
 
@@ -45,35 +51,40 @@ func main() {
 	case "adversarial":
 		gen = workload.Adversarial{Seed: *seed}
 	default:
-		fmt.Fprintf(os.Stderr, "dsgsim: unknown workload %q\n", *kind)
-		os.Exit(2)
+		cliutil.Fail("dsgsim", "unknown workload %q", *kind)
 	}
 
 	nw, err := lsasg.New(*n, lsasg.WithSeed(*seed), lsasg.WithBalance(*balance))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dsgsim: %v\n", err)
-		os.Exit(1)
+		cliutil.Fail("dsgsim", "%v", err)
 	}
-	fmt.Printf("# %d nodes, %d requests, workload %s, a=%d\n", *n, *m, gen.Name(), *balance)
+	outW, err := cliutil.Output(*out)
+	if err != nil {
+		cliutil.Fail("dsgsim", "%v", err)
+	}
+	fmt.Fprintf(outW, "# %d nodes, %d requests, workload %s, a=%d, seed=%d\n",
+		*n, *m, gen.Name(), *balance, *seed)
 	for i, r := range gen.Generate(*n, *m) {
 		res, err := nw.Request(r.Src, r.Dst)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dsgsim: request %d: %v\n", i, err)
-			os.Exit(1)
+			cliutil.Fail("dsgsim", "request %d: %v", i, err)
 		}
 		if *trace {
-			fmt.Printf("t=%-6d %3d→%-3d dist=%-3d T=%-4d rounds=%-5d level=%d\n",
+			fmt.Fprintf(outW, "t=%-6d %3d→%-3d dist=%-3d T=%-4d rounds=%-5d level=%d\n",
 				i+1, r.Src, r.Dst, res.RouteDistance, res.WorkingSetNumber,
 				res.TransformRounds, res.DirectLevel)
 		}
 	}
 	st := nw.Stats()
-	fmt.Printf("\nrequests            %d\n", st.Requests)
-	fmt.Printf("mean route distance %.3f\n", st.MeanRouteDistance)
-	fmt.Printf("max route distance  %d\n", st.MaxRouteDistance)
-	fmt.Printf("transform rounds    %d\n", st.TotalTransformRounds)
-	fmt.Printf("WS(sigma)           %.1f (%.3f/request)\n", st.WorkingSetBound,
+	fmt.Fprintf(outW, "\nrequests            %d\n", st.Requests)
+	fmt.Fprintf(outW, "mean route distance %.3f\n", st.MeanRouteDistance)
+	fmt.Fprintf(outW, "max route distance  %d\n", st.MaxRouteDistance)
+	fmt.Fprintf(outW, "transform rounds    %d\n", st.TotalTransformRounds)
+	fmt.Fprintf(outW, "WS(sigma)           %.1f (%.3f/request)\n", st.WorkingSetBound,
 		st.WorkingSetBound/float64(st.Requests))
-	fmt.Printf("height              %d\n", st.Height)
-	fmt.Printf("dummies             %d\n", st.DummyCount)
+	fmt.Fprintf(outW, "height              %d\n", st.Height)
+	fmt.Fprintf(outW, "dummies             %d\n", st.DummyCount)
+	if err := outW.Close(); err != nil {
+		cliutil.Fail("dsgsim", "closing %s: %v", *out, err)
+	}
 }

@@ -1,6 +1,10 @@
 // Command dsgviz renders a skip graph as the paper's binary tree of linked
 // lists (Fig 1(b)) and animates how DSG reshapes it under a workload.
 //
+// Like every binary in this repo, -seed fixes the deterministic stream and
+// -out captures the report (a file here; stdout when empty), so two runs
+// with the same flags and seed produce byte-identical captured output.
+//
 // Usage:
 //
 //	dsgviz -n 10                  # random skip graph, one snapshot
@@ -11,9 +15,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
+	"io"
 
 	"lsasg"
+	"lsasg/internal/cliutil"
 	"lsasg/internal/skipgraph"
 )
 
@@ -22,41 +27,50 @@ func main() {
 		n     = flag.Int("n", 10, "number of nodes")
 		steps = flag.Int("steps", 0, "requests between a hot pair to animate")
 		fig1  = flag.Bool("fig1", false, "render the paper's Figure 1 skip graph")
-		seed  = flag.Int64("seed", 1, "random seed")
+		seed  = cliutil.AddSeed(flag.CommandLine)
+		out   = cliutil.AddOut(flag.CommandLine, "write the rendering to this file (default stdout)")
 	)
 	flag.Parse()
 
-	if *fig1 {
-		renderFig1()
-		return
-	}
-
-	nw, err := lsasg.New(*n, lsasg.WithSeed(*seed))
+	w, err := cliutil.Output(*out)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dsgviz: %v\n", err)
-		os.Exit(1)
+		cliutil.Fail("dsgviz", "%v", err)
 	}
-	fmt.Println("# initial topology")
-	nw.RenderTopology(os.Stdout)
-	hotA, hotB := 0, *n-1
-	for i := 0; i < *steps; i++ {
+	if *fig1 {
+		renderFig1(w)
+	} else {
+		render(w, *n, *steps, *seed)
+	}
+	if err := w.Close(); err != nil {
+		cliutil.Fail("dsgviz", "closing %s: %v", *out, err)
+	}
+}
+
+func render(w io.Writer, n, steps int, seed int64) {
+	nw, err := lsasg.New(n, lsasg.WithSeed(seed))
+	if err != nil {
+		cliutil.Fail("dsgviz", "%v", err)
+	}
+	fmt.Fprintln(w, "# initial topology")
+	nw.RenderTopology(w)
+	hotA, hotB := 0, n-1
+	for i := 0; i < steps; i++ {
 		if _, err := nw.Request(hotA, hotB); err != nil {
-			fmt.Fprintf(os.Stderr, "dsgviz: %v\n", err)
-			os.Exit(1)
+			cliutil.Fail("dsgviz", "%v", err)
 		}
-		fmt.Printf("\n# after request %d: %d → %d\n", i+1, hotA, hotB)
-		nw.RenderTopology(os.Stdout)
+		fmt.Fprintf(w, "\n# after request %d: %d → %d\n", i+1, hotA, hotB)
+		nw.RenderTopology(w)
 	}
-	if *steps > 0 {
+	if steps > 0 {
 		if ok, lvl := nw.DirectlyLinked(hotA, hotB); ok {
-			fmt.Printf("\nnodes %d and %d are directly linked at level %d\n", hotA, hotB, lvl)
+			fmt.Fprintf(w, "\nnodes %d and %d are directly linked at level %d\n", hotA, hotB, lvl)
 		}
 	}
 }
 
 // renderFig1 prints the 6-node, 3-level skip graph of the paper's Fig 1,
 // with the letter names used there.
-func renderFig1() {
+func renderFig1(w io.Writer) {
 	g := skipgraph.NewFromVectors([]skipgraph.VectorEntry{
 		{Key: 1, ID: 1, Vector: "00"},   // A
 		{Key: 7, ID: 7, Vector: "10"},   // G
@@ -66,12 +80,12 @@ func renderFig1() {
 		{Key: 23, ID: 23, Vector: "10"}, // W
 	})
 	names := map[int64]string{1: "A", 7: "G", 10: "J", 13: "M", 18: "R", 23: "W"}
-	fmt.Println("# Figure 1: 6-node skip graph as a binary tree of linked lists")
-	fmt.Print(g.TreeView().RenderLevels(func(n *skipgraph.Node) string {
+	fmt.Fprintln(w, "# Figure 1: 6-node skip graph as a binary tree of linked lists")
+	fmt.Fprint(w, g.TreeView().RenderLevels(func(n *skipgraph.Node) string {
 		return names[n.ID()]
 	}, nil))
-	fmt.Println("\nmembership vectors:")
+	fmt.Fprintln(w, "\nmembership vectors:")
 	for _, n := range g.Nodes() {
-		fmt.Printf("  m(%s) = %q\n", names[n.ID()], n.MembershipVector())
+		fmt.Fprintf(w, "  m(%s) = %q\n", names[n.ID()], n.MembershipVector())
 	}
 }

@@ -1,0 +1,67 @@
+// Package cliutil centralizes the flag conventions shared by the repo's
+// binaries (cmd/dsgexp, cmd/dsgbench, cmd/dsgsim, cmd/dsgviz) so every tool
+// is reproducible the same way:
+//
+//   - -seed selects the deterministic random stream (default 1; two runs
+//     with the same flags and seed produce the same captured output);
+//   - -out captures the result — a directory for grid runners (dsgexp), a
+//     file for text reporters (the others; empty means stdout);
+//   - timing and progress chatter belongs on stderr, never in the captured
+//     output, so -out files can be diffed across commits.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// AddSeed registers the shared -seed flag.
+func AddSeed(fs *flag.FlagSet) *int64 {
+	return fs.Int64("seed", 1, "base random seed; identical seeds reproduce identical results")
+}
+
+// AddOut registers the shared -out flag with a tool-specific usage string.
+func AddOut(fs *flag.FlagSet, usage string) *string {
+	return fs.String("out", "", usage)
+}
+
+// nopWriteCloser wraps stdout so text reporters can Close unconditionally.
+type nopWriteCloser struct{ io.Writer }
+
+func (nopWriteCloser) Close() error { return nil }
+
+// Output resolves the -out flag for text reporters: an empty path yields a
+// non-closing stdout wrapper, anything else creates the file (and its parent
+// directories).
+func Output(path string) (io.WriteCloser, error) {
+	if path == "" {
+		return nopWriteCloser{os.Stdout}, nil
+	}
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("creating output directory: %w", err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("creating output file: %w", err)
+	}
+	return f, nil
+}
+
+// DefaultRunDir returns the conventional default output directory for grid
+// runners: <tool>_runs/<timestamp>.
+func DefaultRunDir(tool string) string {
+	return filepath.Join(tool+"_runs", time.Now().Format("20060102_150405"))
+}
+
+// Fail prints a prefixed error to stderr and exits non-zero. Every binary
+// reports fatal errors the same way.
+func Fail(tool, format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, tool+": "+format+"\n", args...)
+	os.Exit(1)
+}

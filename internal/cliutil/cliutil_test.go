@@ -1,0 +1,62 @@
+package cliutil
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSharedFlags(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	seed := AddSeed(fs)
+	out := AddOut(fs, "output file")
+	if err := fs.Parse([]string{"-seed", "7", "-out", "report.txt"}); err != nil {
+		t.Fatal(err)
+	}
+	if *seed != 7 || *out != "report.txt" {
+		t.Fatalf("parsed seed=%d out=%q", *seed, *out)
+	}
+
+	fs2 := flag.NewFlagSet("y", flag.ContinueOnError)
+	if *AddSeed(fs2) != 1 {
+		t.Error("default seed must be 1 in every binary")
+	}
+}
+
+func TestOutputStdoutAndFile(t *testing.T) {
+	w, err := Output("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.(nopWriteCloser).Writer != os.Stdout {
+		t.Error("empty -out should resolve to stdout")
+	}
+	if err := w.Close(); err != nil {
+		t.Error("closing the stdout wrapper must be a no-op")
+	}
+
+	path := filepath.Join(t.TempDir(), "nested", "dir", "report.txt")
+	f, err := Output(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "hello\n" {
+		t.Fatalf("read back %q, %v", data, err)
+	}
+}
+
+func TestDefaultRunDir(t *testing.T) {
+	dir := DefaultRunDir("dsgexp")
+	if !strings.HasPrefix(dir, "dsgexp_runs"+string(filepath.Separator)) {
+		t.Errorf("run dir %q lacks the <tool>_runs prefix", dir)
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import "fmt"
+
+// Pair is one communication request by node identifiers, the unit the
+// concurrent serving engine (internal/serve) feeds into the adjuster.
+type Pair struct {
+	Src, Dst int64
+}
+
+// AdjustResult reports one applied transformation: the non-routing half of
+// Serve. Routing happened elsewhere (against a topology snapshot), so only
+// the adaptation-side measures appear here.
+type AdjustResult struct {
+	Time            int64 // logical time t of the transformation
+	Alpha           int   // highest common level of the pair before transforming
+	TransformRounds int   // ρ: synchronous rounds spent transforming
+	DirectLevel     int   // level of the new size-2 list holding the pair
+	HeightAfter     int   // graph height after the transformation
+
+	// RepairInserted/RepairRemoved count the scoped a-balance repair actions
+	// (RepairBalancePending) the transformation triggered.
+	RepairInserted int
+	RepairRemoved  int
+}
+
+// Adjust applies the DSG transformation for the pair (u, v) without routing
+// first, then repairs a-balance over exactly the lists the transformation
+// dirtied (RepairBalancePending). It is the adaptation half of Serve, split
+// out so a serving engine can route requests in parallel against an immutable
+// snapshot while a single adjuster applies the transformations in order.
+func (d *DSG) Adjust(uid, vid int64) (AdjustResult, error) {
+	u, v := d.NodeByID(uid), d.NodeByID(vid)
+	if u == nil || v == nil {
+		return AdjustResult{}, fmt.Errorf("core: unknown node id %d or %d", uid, vid)
+	}
+	if u == v {
+		return AdjustResult{}, fmt.Errorf("core: self-communication for id %d", uid)
+	}
+	d.clock++
+	r := d.transform(u, v, d.clock)
+	ins, rem := d.RepairBalancePending()
+	if d.cfg.CheckInvariants {
+		if err := d.checkInvariants(u, v); err != nil {
+			return AdjustResult{}, fmt.Errorf("core: invariant violated after adjustment %d: %w", d.clock, err)
+		}
+	}
+	return AdjustResult{
+		Time:            r.Time,
+		Alpha:           r.Alpha,
+		TransformRounds: r.TransformRounds,
+		DirectLevel:     r.DirectLevel,
+		HeightAfter:     d.g.Height(),
+		RepairInserted:  ins,
+		RepairRemoved:   rem,
+	}, nil
+}
+
+// ApplyBatch applies the transformations for a batch of pairs in order, each
+// followed by its scoped balance repair, and returns one result per pair.
+// This is the adjuster's batch entry point: after a batch the caller
+// publishes a fresh topology snapshot, so the routing side observes
+// adjustments at batch granularity. A failing pair aborts the batch; the
+// already-applied prefix remains applied (results carries exactly the applied
+// prefix alongside the error).
+func (d *DSG) ApplyBatch(pairs []Pair) ([]AdjustResult, error) {
+	results := make([]AdjustResult, 0, len(pairs))
+	for i, p := range pairs {
+		r, err := d.Adjust(p.Src, p.Dst)
+		if err != nil {
+			return results, fmt.Errorf("core: batch pair %d (%d→%d): %w", i, p.Src, p.Dst, err)
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestAdjustMatchesServe: routing is read-only, so applying a request
+// sequence through Adjust must leave the DSG in exactly the state Serve (plus
+// its scoped repair) leaves it in: same clock, same topology, same balance.
+func TestAdjustMatchesServe(t *testing.T) {
+	const n = 48
+	a := New(n, Config{A: 4, Seed: 5})
+	b := New(n, Config{A: 4, Seed: 5})
+	a.RepairBalance()
+	b.RepairBalance()
+
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 150; i++ {
+		u, v := int64(rng.Intn(n)), int64(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		sres, err := a.Serve(u, v)
+		if err != nil {
+			t.Fatalf("serve %d→%d: %v", u, v, err)
+		}
+		a.RepairBalancePending()
+		ares, err := b.Adjust(u, v)
+		if err != nil {
+			t.Fatalf("adjust %d→%d: %v", u, v, err)
+		}
+		if ares.TransformRounds != sres.TransformRounds || ares.Alpha != sres.Alpha ||
+			ares.DirectLevel != sres.DirectLevel || ares.Time != sres.Time {
+			t.Fatalf("adjust result %+v diverges from serve result %+v", ares, sres)
+		}
+	}
+	if a.Clock() != b.Clock() {
+		t.Fatalf("clocks diverged: serve %d, adjust %d", a.Clock(), b.Clock())
+	}
+	if a.Graph().Height() != b.Graph().Height() || a.DummyCount() != b.DummyCount() {
+		t.Fatalf("topology diverged: serve (h=%d, dummies=%d), adjust (h=%d, dummies=%d)",
+			a.Graph().Height(), a.DummyCount(), b.Graph().Height(), b.DummyCount())
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatalf("adjust-built DSG invalid: %v", err)
+	}
+}
+
+// TestApplyBatch checks ordered application, per-pair results, and the
+// applied-prefix contract on error.
+func TestApplyBatch(t *testing.T) {
+	d := New(32, Config{A: 4, Seed: 2})
+	d.RepairBalance()
+
+	pairs := []Pair{{0, 9}, {9, 17}, {0, 9}, {3, 30}}
+	results, err := d.ApplyBatch(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(pairs) {
+		t.Fatalf("got %d results for %d pairs", len(results), len(pairs))
+	}
+	for i, r := range results {
+		if r.Time != int64(i+1) {
+			t.Errorf("pair %d applied at time %d, want %d", i, r.Time, i+1)
+		}
+	}
+	if ok, _ := d.Graph().DirectlyLinked(d.NodeByID(3), d.NodeByID(30)); !ok {
+		t.Error("last batch pair not directly linked")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("invalid after batch: %v", err)
+	}
+
+	// A bad pair aborts the batch but keeps the applied prefix.
+	before := d.Clock()
+	results, err = d.ApplyBatch([]Pair{{1, 2}, {5, 99}})
+	if err == nil {
+		t.Fatal("expected error for unknown node id")
+	}
+	if len(results) != 1 || d.Clock() != before+1 {
+		t.Fatalf("applied prefix: %d results, clock %d (was %d)", len(results), d.Clock(), before)
+	}
+}

@@ -13,7 +13,7 @@ import (
 // paper), and the runner itself. The registry is the single source of truth
 // consumed by cmd/dsgexp, cmd/dsgbench, the tests, and docs/EXPERIMENTS.md.
 type Experiment struct {
-	// ID is the stable identifier (E1..E16) used for filtering and file names.
+	// ID is the stable identifier (E1..E17) used for filtering and file names.
 	ID string
 	// Name is a short slug (lowercase, hyphenated) for output files.
 	Name string
@@ -26,7 +26,7 @@ type Experiment struct {
 	Run func(Scale) *stats.Table
 }
 
-// Registry returns every registered experiment in canonical (E1..E16) order.
+// Registry returns every registered experiment in canonical (E1..E17) order.
 func Registry() []Experiment {
 	return []Experiment{
 		{
@@ -140,6 +140,13 @@ func Registry() []Experiment {
 			Description: "Per-membership-event adjustment work grows sublinearly in n: joins, leaves, and balance repair are local.",
 			PaperRef:    "§IV-F/§IV-G (local self-adjustment); Interlaced (2019) decentralized stabilization",
 			Run:         E16JoinLocality,
+		},
+		{
+			ID:          "E17",
+			Name:        "serve-throughput",
+			Description: "Concurrent serving: requests/sec scales with snapshot-routing workers while one adjuster batches adaptations.",
+			PaperRef:    "§III serving model; NUMA-aware layered skip graphs (Thomas & Mendes); Interlaced churn stabilization",
+			Run:         E17ThroughputScaling,
 		},
 	}
 }

@@ -1,0 +1,35 @@
+// Package serve is the concurrent serving engine: it routes many
+// communication requests in parallel against an immutable topology snapshot
+// while a single adjuster goroutine applies the self-adjusting
+// transformations (and their scoped a-balance repairs) in batches,
+// publishing a fresh snapshot after every batch.
+//
+// The split exploits the two halves of the paper's serving model: routing is
+// a pure read of the topology (Appendix B), while the transformation
+// (§IV-C–F) mutates it. Readers therefore scale across cores against an
+// epoch-stamped deep copy of the graph (skipgraph.Graph.Clone), and all
+// mutation stays serialized in one goroutine, preserving the sequential
+// semantics of the transformation — including its seeded randomness — no
+// matter how many routing workers run.
+//
+// The engine has two modes, sharing the snapshot and batch machinery:
+//
+//   - Serve (deterministic batch pipeline): requests are consumed in batches
+//     of BatchSize; each batch is routed in parallel against the snapshot
+//     published after the previous batch while the adjuster concurrently
+//     applies the batch's transformations in sequence order to the live
+//     graph. Every statistic is a pure function of the request sequence and
+//     the batch schedule — byte-identical across Parallelism settings.
+//
+//   - Start/Route/Stop (free-running): callers route on the freshest
+//     published snapshot from any goroutine; each routed request is offered
+//     to a bounded adjustment queue that the adjuster drains in batches.
+//     When the queue is full the adjustment is shed (counted, never blocks
+//     routing) — the topology adapts as fast as one core allows while
+//     routing throughput scales with the callers.
+//
+// Requests routed against a snapshot see a topology that lags the live graph
+// by at most the adjustment backlog. The lag delays the working-set
+// adaptation but never breaks correctness: every snapshot is a complete,
+// valid skip graph, so any routing in it stays within its a·H worst case.
+package serve

@@ -1,0 +1,363 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"lsasg/internal/core"
+	"lsasg/internal/skipgraph"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Parallelism is the number of routing workers used by Serve (and the
+	// suggested number of Route callers in free-running mode). Values < 1
+	// mean 1.
+	Parallelism int
+	// BatchSize is the number of adjustments applied between snapshot
+	// publications. Values < 1 mean 32.
+	BatchSize int
+	// Backlog bounds the free-running adjustment queue. Values < 1 mean
+	// 4×BatchSize.
+	Backlog int
+	// OnResult, when non-nil, observes every request served by Serve, in
+	// sequence order (the deterministic order, independent of Parallelism).
+	OnResult func(r Result)
+}
+
+func (c Config) parallelism() int {
+	if c.Parallelism < 1 {
+		return 1
+	}
+	return c.Parallelism
+}
+
+func (c Config) batchSize() int {
+	if c.BatchSize < 1 {
+		return 32
+	}
+	return c.BatchSize
+}
+
+func (c Config) backlog() int {
+	if c.Backlog < 1 {
+		return 4 * c.batchSize()
+	}
+	return c.Backlog
+}
+
+// Snapshot is an immutable routing replica of the topology at a published
+// epoch. The graph is a deep copy: safe for any number of concurrent readers
+// and never mutated after publication.
+type Snapshot struct {
+	Epoch int64
+	Graph *skipgraph.Graph
+}
+
+// Route routes src → dst inside the snapshot.
+func (s *Snapshot) Route(src, dst int64) (skipgraph.RouteResult, error) {
+	return s.Graph.RouteKeys(skipgraph.KeyOf(src), skipgraph.KeyOf(dst))
+}
+
+// Result reports one request served by the deterministic Serve pipeline:
+// the routing half measured against the batch's snapshot, the adjustment
+// half from the serialized transformation.
+type Result struct {
+	Seq   int64     // 0-based position in the request sequence
+	Pair  core.Pair // the request
+	Epoch int64     // snapshot epoch the request was routed against
+
+	RouteDistance int // d_S(σ) in the snapshot
+	RouteHops     int
+	// AdjustLag is the number of adjustments pending when the request was
+	// routed (its own included): requests route against the snapshot of the
+	// previous batch, so the lag is the request's 1-based position within
+	// its batch.
+	AdjustLag int
+
+	TransformRounds int
+	DirectLevel     int
+	Alpha           int
+	HeightAfter     int
+	RepairInserted  int
+	RepairRemoved   int
+}
+
+// Stats aggregates one Serve run. Every field is deterministic for a fixed
+// seed and batch schedule: identical across Parallelism settings.
+type Stats struct {
+	Requests           int64
+	Batches            int64
+	SnapshotsPublished int64
+
+	TotalRouteDistance   int64
+	MaxRouteDistance     int
+	TotalRouteHops       int64
+	TotalTransformRounds int64
+	TotalAdjustLag       int64
+	MaxAdjustLag         int
+	RepairInserted       int64
+	RepairRemoved        int64
+
+	HeightAfter int // live-graph height after the final batch
+}
+
+// MeanRouteDistance returns the mean snapshot routing distance per request.
+func (s Stats) MeanRouteDistance() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.TotalRouteDistance) / float64(s.Requests)
+}
+
+// MeanAdjustLag returns the mean number of pending adjustments at route time.
+func (s Stats) MeanAdjustLag() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.TotalAdjustLag) / float64(s.Requests)
+}
+
+// Engine serves communication requests concurrently over one DSG. An engine
+// is used in exactly one mode: either a single Serve call (deterministic
+// batch pipeline) or Start/Route/Stop (free-running). The DSG must not be
+// touched by anyone else while the engine is running — all mutation goes
+// through the engine's single adjuster.
+type Engine struct {
+	dsg *core.DSG
+	cfg Config
+
+	snap atomic.Pointer[Snapshot]
+
+	// Free-running state.
+	queue   chan task
+	done    chan struct{}
+	mu      sync.RWMutex // guards closing against Route's enqueue, and the mode flags
+	closing bool
+	started bool // free-running mode active (Start called)
+	serving bool // a Serve call is in flight
+
+	routed    atomic.Int64
+	routeDist atomic.Int64
+	enqueued  atomic.Int64
+	consumed  atomic.Int64
+	applied   atomic.Int64
+	shed      atomic.Int64
+	failed    atomic.Int64
+	joins     atomic.Int64
+	leaves    atomic.Int64
+	epochs    atomic.Int64
+
+	errMu    sync.Mutex
+	firstErr error
+}
+
+type taskOp byte
+
+const (
+	opAdjust taskOp = iota
+	opJoin
+	opLeave
+)
+
+type task struct {
+	op       taskOp
+	src, dst int64
+}
+
+// New creates an engine over the DSG and publishes the epoch-0 snapshot.
+// The scoped repairs behind every adjustment assume a globally a-balanced
+// starting point, so New runs the global balance repair once (a no-op on an
+// already-balanced graph).
+func New(d *core.DSG, cfg Config) *Engine {
+	d.RepairBalance()
+	e := &Engine{dsg: d, cfg: cfg}
+	e.snap.Store(&Snapshot{Epoch: 0, Graph: d.Graph().Clone()})
+	return e
+}
+
+// Snapshot returns the most recently published snapshot.
+func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
+
+// publish deep-copies the live graph into the next-epoch snapshot. Only the
+// adjuster (or the Serve loop between batches) may call it.
+func (e *Engine) publish() {
+	next := &Snapshot{Epoch: e.snap.Load().Epoch + 1, Graph: e.dsg.Graph().Clone()}
+	e.snap.Store(next)
+	e.epochs.Add(1)
+}
+
+// Serve consumes pairs until the channel closes (or ctx is cancelled) and
+// returns the aggregate statistics. Requests are processed in batches of
+// BatchSize: the whole batch is routed in parallel by Parallelism workers
+// against the snapshot published after the previous batch, while the single
+// adjuster concurrently applies the batch's transformations in sequence
+// order to the live graph; then the next snapshot is published. Batches are
+// filled to BatchSize (blocking on the channel) so the batch schedule — and
+// with it every statistic — is a pure function of the request sequence,
+// independent of Parallelism and of producer timing. An invalid pair aborts
+// with an error; already-applied batches stay applied.
+//
+// Serve refuses to run on an engine in free-running mode (Start), and
+// rejects overlapping Serve calls — both would race the adjuster over the
+// live graph. Sequential Serve calls on one engine are fine.
+func (e *Engine) Serve(ctx context.Context, in <-chan core.Pair) (Stats, error) {
+	e.mu.Lock()
+	if e.started {
+		e.mu.Unlock()
+		return Stats{}, fmt.Errorf("serve: Serve on an engine already in free-running mode (Start)")
+	}
+	if e.serving {
+		e.mu.Unlock()
+		return Stats{}, fmt.Errorf("serve: overlapping Serve calls on one engine")
+	}
+	e.serving = true
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		e.serving = false
+		e.mu.Unlock()
+	}()
+
+	var st Stats
+	k := e.cfg.batchSize()
+	batch := make([]core.Pair, 0, k)
+	routes := make([]skipgraph.RouteResult, k)
+	seq := int64(0)
+	for {
+		batch = batch[:0]
+		stop := false
+		cancelled := false
+		for len(batch) < k && !stop {
+			select {
+			case <-ctx.Done():
+				stop, cancelled = true, true
+			case p, ok := <-in:
+				if !ok {
+					stop = true
+					break
+				}
+				batch = append(batch, p)
+			}
+		}
+		if len(batch) > 0 {
+			snap := e.snap.Load()
+			adjCh := make(chan adjOutcome, 1)
+			go func(pairs []core.Pair) {
+				rs, err := e.dsg.ApplyBatch(pairs)
+				adjCh <- adjOutcome{results: rs, err: err}
+			}(batch)
+			routeErr := e.routeBatch(snap, batch, routes)
+			adj := <-adjCh
+			if routeErr != nil {
+				return st, routeErr
+			}
+			if adj.err != nil {
+				return st, adj.err
+			}
+			e.publish()
+			st.Batches++
+			st.SnapshotsPublished++
+			for i := range batch {
+				r := Result{
+					Seq:             seq,
+					Pair:            batch[i],
+					Epoch:           snap.Epoch,
+					RouteDistance:   routes[i].Distance(),
+					RouteHops:       routes[i].Hops(),
+					AdjustLag:       i + 1,
+					TransformRounds: adj.results[i].TransformRounds,
+					DirectLevel:     adj.results[i].DirectLevel,
+					Alpha:           adj.results[i].Alpha,
+					HeightAfter:     adj.results[i].HeightAfter,
+					RepairInserted:  adj.results[i].RepairInserted,
+					RepairRemoved:   adj.results[i].RepairRemoved,
+				}
+				seq++
+				st.accumulate(r)
+				if e.cfg.OnResult != nil {
+					e.cfg.OnResult(r)
+				}
+			}
+		}
+		if stop {
+			st.HeightAfter = e.dsg.Graph().Height()
+			if cancelled {
+				return st, ctx.Err()
+			}
+			return st, nil
+		}
+	}
+}
+
+func (s *Stats) accumulate(r Result) {
+	s.Requests++
+	s.TotalRouteDistance += int64(r.RouteDistance)
+	s.TotalRouteHops += int64(r.RouteHops)
+	if r.RouteDistance > s.MaxRouteDistance {
+		s.MaxRouteDistance = r.RouteDistance
+	}
+	s.TotalTransformRounds += int64(r.TransformRounds)
+	s.TotalAdjustLag += int64(r.AdjustLag)
+	if r.AdjustLag > s.MaxAdjustLag {
+		s.MaxAdjustLag = r.AdjustLag
+	}
+	s.RepairInserted += int64(r.RepairInserted)
+	s.RepairRemoved += int64(r.RepairRemoved)
+}
+
+type adjOutcome struct {
+	results []core.AdjustResult
+	err     error
+}
+
+// routeBatch routes every pair of the batch against the snapshot, fanning
+// the work over the configured number of workers. results[i] corresponds to
+// batch[i], so the outcome is independent of worker scheduling.
+func (e *Engine) routeBatch(snap *Snapshot, batch []core.Pair, results []skipgraph.RouteResult) error {
+	p := e.cfg.parallelism()
+	if p > len(batch) {
+		p = len(batch)
+	}
+	if p == 1 {
+		for i, pair := range batch {
+			r, err := snap.Route(pair.Src, pair.Dst)
+			if err != nil {
+				return fmt.Errorf("serve: routing %d→%d (epoch %d): %w", pair.Src, pair.Dst, snap.Epoch, err)
+			}
+			results[i] = r
+		}
+		return nil
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		outErr  error
+	)
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(batch) {
+					return
+				}
+				r, err := snap.Route(batch[i].Src, batch[i].Dst)
+				if err != nil {
+					errOnce.Do(func() {
+						outErr = fmt.Errorf("serve: routing %d→%d (epoch %d): %w",
+							batch[i].Src, batch[i].Dst, snap.Epoch, err)
+					})
+					return
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	return outErr
+}

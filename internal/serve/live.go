@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"fmt"
+
+	"lsasg/internal/skipgraph"
+)
+
+// This file is the free-running mode: Route may be called from any number of
+// goroutines; completed requests are offered to a bounded queue that the
+// single adjuster goroutine drains in batches, publishing a snapshot per
+// batch. Routing never blocks on adjustment — when the queue is full the
+// adjustment is shed and counted, trading adaptation speed for throughput.
+
+// LiveStats is a point-in-time sample of the free-running counters.
+type LiveStats struct {
+	Routed             int64 // requests routed against a snapshot
+	RouteDistanceSum   int64 // Σ d_S over routed requests
+	Enqueued           int64 // tasks accepted into the queue
+	Applied            int64 // adjustments applied by the adjuster
+	Shed               int64 // tasks dropped because the queue was full
+	Failed             int64 // tasks the adjuster consumed but could not apply
+	Joins, Leaves      int64 // membership events applied
+	SnapshotsPublished int64
+	Pending            int64 // tasks accepted but not yet consumed
+}
+
+// Start launches the adjuster goroutine. It must be called exactly once, and
+// only on an engine that is not used via Serve.
+func (e *Engine) Start() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		panic("serve: Engine.Start called twice")
+	}
+	if e.serving {
+		panic("serve: Engine.Start while Serve is running")
+	}
+	e.started = true
+	e.queue = make(chan task, e.cfg.backlog())
+	e.done = make(chan struct{})
+	go e.adjustLoop()
+}
+
+// Stop closes the queue, waits for the adjuster to drain it, publishes the
+// final snapshot, and returns the first error the adjuster encountered (nil
+// in a healthy run).
+func (e *Engine) Stop() error {
+	e.mu.Lock()
+	if !e.started {
+		e.mu.Unlock()
+		return fmt.Errorf("serve: Stop before Start")
+	}
+	if !e.closing {
+		e.closing = true
+		close(e.queue)
+	}
+	e.mu.Unlock()
+	<-e.done
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return e.firstErr
+}
+
+// Route routes src → dst against the freshest published snapshot and offers
+// the pair to the adjustment queue. Safe for concurrent use. The returned
+// epoch identifies the snapshot the request saw.
+func (e *Engine) Route(src, dst int64) (skipgraph.RouteResult, int64, error) {
+	snap := e.snap.Load()
+	r, err := snap.Route(src, dst)
+	if err != nil {
+		return r, snap.Epoch, err
+	}
+	e.routed.Add(1)
+	e.routeDist.Add(int64(r.Distance()))
+	e.offer(task{op: opAdjust, src: src, dst: dst})
+	return r, snap.Epoch, nil
+}
+
+// SubmitJoin enqueues a node join to be applied by the adjuster (serialized
+// with all other mutation). It reports whether the event was accepted; a
+// full queue sheds it like any other adjustment.
+func (e *Engine) SubmitJoin(id int64) bool {
+	return e.offer(task{op: opJoin, src: id})
+}
+
+// SubmitLeave enqueues a node departure.
+func (e *Engine) SubmitLeave(id int64) bool {
+	return e.offer(task{op: opLeave, src: id})
+}
+
+// offer attempts a non-blocking enqueue; a full or closing queue sheds.
+// enqueued is incremented before the send (and rolled back on shed) so
+// enqueued ≥ consumed always holds — Pending never reads negative even when
+// the adjuster consumes a task the instant it lands.
+func (e *Engine) offer(t task) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if !e.started || e.closing {
+		e.shed.Add(1)
+		return false
+	}
+	e.enqueued.Add(1)
+	select {
+	case e.queue <- t:
+		return true
+	default:
+		e.enqueued.Add(-1)
+		e.shed.Add(1)
+		return false
+	}
+}
+
+// Live samples the free-running counters.
+func (e *Engine) Live() LiveStats {
+	enq, con := e.enqueued.Load(), e.consumed.Load()
+	return LiveStats{
+		Routed:             e.routed.Load(),
+		RouteDistanceSum:   e.routeDist.Load(),
+		Enqueued:           enq,
+		Applied:            e.applied.Load(),
+		Shed:               e.shed.Load(),
+		Failed:             e.failed.Load(),
+		Joins:              e.joins.Load(),
+		Leaves:             e.leaves.Load(),
+		SnapshotsPublished: e.epochs.Load(),
+		Pending:            enq - con,
+	}
+}
+
+// Pending returns the number of tasks accepted but not yet consumed — the
+// instantaneous adjustment lag behind the routed stream.
+func (e *Engine) Pending() int64 {
+	return e.enqueued.Load() - e.consumed.Load()
+}
+
+// adjustLoop drains the queue in batches of BatchSize, applies each batch to
+// the live graph, and publishes a snapshot per batch. It blocks for the
+// first task of a batch and fills the rest opportunistically, so a saturated
+// queue yields full batches while a trickle still adjusts promptly.
+func (e *Engine) adjustLoop() {
+	defer close(e.done)
+	k := e.cfg.batchSize()
+	batch := make([]task, 0, k)
+	for {
+		t, ok := <-e.queue
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], t)
+		closed := false
+	fill:
+		for len(batch) < k {
+			select {
+			case t2, ok2 := <-e.queue:
+				if !ok2 {
+					closed = true
+					break fill
+				}
+				batch = append(batch, t2)
+			default:
+				break fill
+			}
+		}
+		e.applyLive(batch)
+		e.publish()
+		if closed {
+			return
+		}
+	}
+}
+
+// applyLive applies one batch of tasks in order. The first error is recorded
+// and later tasks still apply — in free-running mode a bad request (e.g. a
+// route that raced a departure) must not wedge the adjuster.
+func (e *Engine) applyLive(batch []task) {
+	for _, t := range batch {
+		var err error
+		switch t.op {
+		case opAdjust:
+			_, err = e.dsg.Adjust(t.src, t.dst)
+			if err == nil {
+				e.applied.Add(1)
+			}
+		case opJoin:
+			_, err = e.dsg.Add(t.src)
+			if err == nil {
+				e.joins.Add(1)
+			}
+		case opLeave:
+			err = e.dsg.RemoveNode(t.src)
+			if err == nil {
+				e.leaves.Add(1)
+			}
+		}
+		e.consumed.Add(1)
+		if err != nil {
+			e.failed.Add(1)
+			e.errMu.Lock()
+			if e.firstErr == nil {
+				e.firstErr = err
+			}
+			e.errMu.Unlock()
+		}
+	}
+}

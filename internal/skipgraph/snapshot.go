@@ -1,0 +1,64 @@
+package skipgraph
+
+// This file is the snapshot side of the concurrent serving engine
+// (internal/serve): a Graph can be deep-copied into an immutable routing
+// replica that many goroutines read in parallel while the original keeps
+// mutating under the single adjuster.
+//
+// Race-safety audit of the route path (why a frozen clone is safe to share):
+//
+//   - Route/RouteKeys only read Node.key, Node.next/prev (via Next/Prev) and
+//     Node.MaxLinkedLevel; none of them write any field.
+//   - ByKey reads the byKey map; no reader mutates it.
+//   - DirectlyLinked and ListAt are equally read-only.
+//   - The ONE mutating accessor a reader could reach is Height(), which
+//     lazily fills the g.height cache. Clone therefore precomputes the
+//     height so Height() on a clone is a pure field read.
+//
+// Anything else on Graph (Insert/Remove/Relink/SpliceIn/...) mutates and must
+// stay confined to the adjuster's live graph. The serve engine never hands a
+// clone to mutating code; internal/serve's stress test runs this contract
+// under the race detector.
+
+// Clone returns a deep copy of the graph: fresh Node values with copied keys,
+// identifiers, dummy flags, and membership vectors, re-linked level by level
+// to mirror the original. The clone shares no memory with the receiver, so
+// concurrent readers of the clone are unaffected by later mutations of the
+// original (and vice versa). The height cache is precomputed, making every
+// read-only accessor — including Height — safe for concurrent use on the
+// clone as long as nobody mutates it.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		nodes:  make([]*Node, len(g.nodes)),
+		byKey:  make(map[Key]*Node, len(g.nodes)),
+		height: g.Height(), // precompute: keeps Height() read-only on the clone
+	}
+	twin := make(map[*Node]*Node, len(g.nodes))
+	for i, n := range g.nodes {
+		m := &Node{
+			key:   n.key,
+			id:    n.id,
+			dummy: n.dummy,
+			bits:  append([]byte(nil), n.bits...),
+			next:  make([]*Node, len(n.next)),
+			prev:  make([]*Node, len(n.prev)),
+		}
+		c.nodes[i] = m
+		c.byKey[m.key] = m
+		twin[n] = m
+	}
+	for i, n := range g.nodes {
+		m := c.nodes[i]
+		for l, x := range n.next {
+			if x != nil {
+				m.next[l] = twin[x]
+			}
+		}
+		for l, x := range n.prev {
+			if x != nil {
+				m.prev[l] = twin[x]
+			}
+		}
+	}
+	return c
+}

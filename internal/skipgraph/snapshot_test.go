@@ -1,0 +1,83 @@
+package skipgraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCloneIsDeepAndEquivalent checks that a clone verifies, mirrors the
+// original structurally, and shares no nodes with it.
+func TestCloneIsDeepAndEquivalent(t *testing.T) {
+	g := NewRandom(64, 7)
+	c := g.Clone()
+
+	if err := c.Verify(); err != nil {
+		t.Fatalf("clone does not verify: %v", err)
+	}
+	if c.N() != g.N() || c.Height() != g.Height() {
+		t.Fatalf("clone shape (n=%d h=%d) differs from original (n=%d h=%d)",
+			c.N(), c.Height(), g.N(), g.Height())
+	}
+	orig := g.Nodes()
+	copies := c.Nodes()
+	for i, n := range orig {
+		m := copies[i]
+		if n == m {
+			t.Fatalf("clone shares node %v with the original", n.Key())
+		}
+		if n.Key() != m.Key() || n.ID() != m.ID() || n.IsDummy() != m.IsDummy() ||
+			n.MembershipVector() != m.MembershipVector() {
+			t.Fatalf("clone node %d mismatch: %v vs %v", i, m, n)
+		}
+		for l := 0; l <= n.MaxLinkedLevel(); l++ {
+			wantNext, wantPrev := keyOrNil(n.Next(l)), keyOrNil(n.Prev(l))
+			gotNext, gotPrev := keyOrNil(m.Next(l)), keyOrNil(m.Prev(l))
+			if wantNext != gotNext || wantPrev != gotPrev {
+				t.Fatalf("clone node %v level %d links (%s,%s), want (%s,%s)",
+					m.Key(), l, gotPrev, gotNext, wantPrev, wantNext)
+			}
+		}
+	}
+}
+
+// TestCloneIsolation mutates the original after cloning and checks the clone
+// still routes identically to a second pristine clone.
+func TestCloneIsolation(t *testing.T) {
+	g := NewRandom(48, 3)
+	snap := g.Clone()
+	ref := g.Clone()
+
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 8; i++ {
+		g.Insert(KeyOf(int64(48+i)), int64(48+i), RandomBrancher(int64(i)))
+	}
+	for i := 0; i < 8; i++ {
+		g.Remove(KeyOf(int64(rng.Intn(48))))
+	}
+
+	for i := 0; i < 200; i++ {
+		u, v := int64(rng.Intn(48)), int64(rng.Intn(48))
+		if u == v {
+			continue
+		}
+		a, errA := snap.RouteKeys(KeyOf(u), KeyOf(v))
+		b, errB := ref.RouteKeys(KeyOf(u), KeyOf(v))
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("route %d→%d: errors diverge (%v vs %v)", u, v, errA, errB)
+		}
+		if errA == nil && a.Distance() != b.Distance() {
+			t.Fatalf("route %d→%d: snapshot distance %d, pristine clone %d",
+				u, v, a.Distance(), b.Distance())
+		}
+	}
+	if err := snap.Verify(); err != nil {
+		t.Fatalf("snapshot corrupted by mutations of the original: %v", err)
+	}
+}
+
+func keyOrNil(n *Node) string {
+	if n == nil {
+		return "<nil>"
+	}
+	return n.Key().String()
+}

@@ -36,6 +36,8 @@ type options struct {
 	checkInvariants bool
 	exactMedian     bool
 	trackWorkingSet bool
+	parallelism     int
+	batchSize       int
 }
 
 // WithBalance sets the a-balance parameter (≥ 2). Larger values reduce
@@ -69,6 +71,20 @@ func WithoutWorkingSetTracking() Option {
 	return func(o *options) { o.trackWorkingSet = false }
 }
 
+// WithParallelism sets the number of routing workers Serve fans requests
+// over (default 1). Routing reads an immutable topology snapshot, so workers
+// scale across cores without changing any result.
+func WithParallelism(p int) Option {
+	return func(o *options) { o.parallelism = p }
+}
+
+// WithBatchSize sets the number of adjustments Serve applies between
+// topology-snapshot publications (default 32). Larger batches amortize the
+// snapshot cost but increase the adjustment lag requests observe.
+func WithBatchSize(k int) Option {
+	return func(o *options) { o.batchSize = k }
+}
+
 // Result reports one served request.
 type Result struct {
 	// RouteDistance is d_S(σ): intermediate nodes on the routing path.
@@ -93,11 +109,17 @@ type Result struct {
 
 // Network is a self-adjusting skip-graph overlay of n nodes addressed
 // 0..n-1. Methods are not safe for concurrent use; the paper's model
-// serves requests sequentially.
+// serves requests sequentially. Serve is the concurrent entry point: it
+// parallelizes routing internally (over immutable topology snapshots) while
+// keeping all adjustment serialized, but the Serve call itself must still
+// not overlap other Network methods.
 type Network struct {
 	dsg *core.DSG
 	ws  *workingset.Bound
 	n   int
+
+	parallelism int
+	batchSize   int
 
 	requests             int
 	totalRouteDistance   int64
@@ -118,7 +140,7 @@ func New(n int, opts ...Option) (*Network, error) {
 	if o.exactMedian {
 		cfg.Finder = core.ExactFinder{}
 	}
-	nw := &Network{dsg: core.New(n, cfg), n: n}
+	nw := &Network{dsg: core.New(n, cfg), n: n, parallelism: o.parallelism, batchSize: o.batchSize}
 	if o.trackWorkingSet {
 		nw.ws = workingset.NewBound(n)
 	}

@@ -1,0 +1,155 @@
+package lsasg
+
+import (
+	"context"
+	"fmt"
+
+	"lsasg/internal/core"
+	"lsasg/internal/serve"
+)
+
+// Pair is one communication request between two node indices, the unit
+// Serve consumes.
+type Pair struct {
+	Src, Dst int
+}
+
+// ServeStats aggregates one Serve run. Every field is deterministic for a
+// fixed seed and batch schedule — byte-identical across parallelism
+// settings.
+type ServeStats struct {
+	// Requests is the number of requests served.
+	Requests int64
+	// Batches is the number of adjustment batches applied; one topology
+	// snapshot was published per batch.
+	Batches int64
+	// MeanRouteDistance is the mean d_S(σ) measured in the snapshot each
+	// request was routed against.
+	MeanRouteDistance float64
+	// MaxRouteDistance is the worst snapshot routing distance observed.
+	MaxRouteDistance int
+	// TotalTransformRounds sums ρ over all applied adjustments.
+	TotalTransformRounds int64
+	// MeanAdjustLag is the mean number of adjustments pending (own included)
+	// when a request was routed: requests route against the previous batch's
+	// snapshot, so the lag averages (BatchSize+1)/2 on full batches.
+	MeanAdjustLag float64
+	// MaxAdjustLag is the worst such lag (at most BatchSize).
+	MaxAdjustLag int
+	// Height and DummyCount describe the live topology after the run.
+	Height     int
+	DummyCount int
+}
+
+// Serve consumes communication requests from the channel until it closes (or
+// ctx is cancelled) and serves them through the concurrent engine: requests
+// are routed in parallel — WithParallelism workers reading an immutable
+// topology snapshot — while a single adjuster applies the self-adjusting
+// transformations in request order, in batches of WithBatchSize, publishing
+// a fresh snapshot per batch.
+//
+// Requests therefore observe a topology that lags their own batch's
+// adjustments (see ServeStats.MeanAdjustLag): routing distances are measured
+// in the snapshot, while the live topology advances request by request with
+// the trace-runner semantics — each transformation followed by its scoped
+// a-balance repair, after one global repair at engine start. Note that this
+// is slightly stronger than a sequence of Request calls, which transform but
+// never run the standalone repairs; Serve additionally maintains the global
+// a-balance property throughout, like core.RunTrace. The working-set
+// bookkeeping backing Stats advances in exact request order. For a fixed
+// seed and batch schedule the results are deterministic, independent of
+// parallelism and of producer timing.
+//
+// Serve must not run concurrently with other Network methods; all other
+// concurrency lives inside the engine. On an invalid request (index out of
+// range, self-communication) Serve aborts with an error after finishing the
+// batches already in flight.
+//
+// When Serve returns early (invalid request, cancellation), it stops
+// receiving from reqs — a producer doing a bare channel send would block
+// forever. Producers should pair every send with the same ctx:
+//
+//	select {
+//	case reqs <- p:
+//	case <-ctx.Done():
+//	    return
+//	}
+//
+// and the caller should cancel ctx once Serve has returned (defer cancel()).
+func (nw *Network) Serve(ctx context.Context, reqs <-chan Pair) (ServeStats, error) {
+	eng := serve.New(nw.dsg, serve.Config{
+		Parallelism: nw.parallelism,
+		BatchSize:   nw.batchSize,
+		OnResult: func(r serve.Result) {
+			// Sequence-order bookkeeping, identical to Request's.
+			if nw.ws != nil {
+				nw.ws.Add(int(r.Pair.Src), int(r.Pair.Dst))
+			}
+			nw.requests++
+			nw.totalRouteDistance += int64(r.RouteDistance)
+			nw.totalTransformRounds += int64(r.TransformRounds)
+			if r.RouteDistance > nw.maxRouteDistance {
+				nw.maxRouteDistance = r.RouteDistance
+			}
+		},
+	})
+
+	inner := make(chan core.Pair)
+	done := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		defer close(inner)
+		for {
+			select {
+			case <-done:
+				return
+			case p, ok := <-reqs:
+				if !ok {
+					return
+				}
+				if err := nw.checkPair(p); err != nil {
+					errc <- err
+					return
+				}
+				select {
+				case inner <- core.Pair{Src: int64(p.Src), Dst: int64(p.Dst)}:
+				case <-done:
+					return
+				}
+			}
+		}
+	}()
+	st, err := eng.Serve(ctx, inner)
+	close(done)
+	if err == nil {
+		select {
+		case err = <-errc:
+		default:
+		}
+	}
+	return ServeStats{
+		Requests:             st.Requests,
+		Batches:              st.Batches,
+		MeanRouteDistance:    st.MeanRouteDistance(),
+		MaxRouteDistance:     st.MaxRouteDistance,
+		TotalTransformRounds: st.TotalTransformRounds,
+		MeanAdjustLag:        st.MeanAdjustLag(),
+		MaxAdjustLag:         st.MaxAdjustLag,
+		Height:               nw.dsg.Graph().Height(),
+		DummyCount:           nw.dsg.DummyCount(),
+	}, err
+}
+
+// checkPair validates one Serve request.
+func (nw *Network) checkPair(p Pair) error {
+	if err := nw.checkIndex(p.Src); err != nil {
+		return err
+	}
+	if err := nw.checkIndex(p.Dst); err != nil {
+		return err
+	}
+	if p.Src == p.Dst {
+		return fmt.Errorf("lsasg: source and destination are both %d", p.Src)
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package lsasg
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func serveAll(t *testing.T, nw *Network, pairs []Pair) ServeStats {
+	t.Helper()
+	ch := make(chan Pair)
+	go func() {
+		defer close(ch)
+		for _, p := range pairs {
+			ch <- p
+		}
+	}()
+	st, err := nw.Serve(context.Background(), ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func servePairs(n, m int, seed int64) []Pair {
+	rng := rand.New(rand.NewSource(seed))
+	pairs := make([]Pair, 0, m)
+	for len(pairs) < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			pairs = append(pairs, Pair{Src: u, Dst: v})
+		}
+	}
+	return pairs
+}
+
+// TestServePublicAPI drives the concurrent engine through the public surface
+// and checks it feeds the same bookkeeping as Request.
+func TestServePublicAPI(t *testing.T) {
+	nw, err := New(48, WithSeed(11), WithParallelism(4), WithBatchSize(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := servePairs(48, 160, 11)
+	st := serveAll(t, nw, pairs)
+
+	if st.Requests != 160 || st.Batches != 20 {
+		t.Fatalf("served %d requests in %d batches, want 160 in 20", st.Requests, st.Batches)
+	}
+	if st.MeanAdjustLag != 4.5 || st.MaxAdjustLag != 8 {
+		t.Errorf("adjust lag mean/max = %v/%d, want 4.5/8", st.MeanAdjustLag, st.MaxAdjustLag)
+	}
+	if nw.Requests() != 160 {
+		t.Errorf("Network.Requests() = %d after Serve, want 160", nw.Requests())
+	}
+	agg := nw.Stats()
+	if agg.Requests != 160 || agg.WorkingSetBound <= 0 {
+		t.Errorf("Stats() not fed by Serve: %+v", agg)
+	}
+	if err := nw.Verify(); err != nil {
+		t.Fatalf("invalid after Serve: %v", err)
+	}
+	// The served pairs are now adapted: a repeat of the last pair is free.
+	last := pairs[len(pairs)-1]
+	if d, err := nw.Distance(last.Src, last.Dst); err != nil || d != 0 {
+		t.Errorf("last served pair routes at distance %d (err %v), want 0", d, err)
+	}
+}
+
+// TestServeDeterministicPublic mirrors the engine-level determinism contract
+// at the API level: p=1 and p=8 produce identical ServeStats.
+func TestServeDeterministicPublic(t *testing.T) {
+	run := func(p int) ServeStats {
+		nw, err := New(32, WithSeed(4), WithParallelism(p), WithBatchSize(16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return serveAll(t, nw, servePairs(32, 320, 4))
+	}
+	a, b := run(1), run(8)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("ServeStats diverge across parallelism:\n p=1: %+v\n p=8: %+v", a, b)
+	}
+}
+
+// TestServeValidation: invalid pairs abort with an error.
+func TestServeValidation(t *testing.T) {
+	nw, err := New(8, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Pair{{0, 0}, {-1, 2}, {3, 8}} {
+		ch := make(chan Pair, 1)
+		ch <- bad
+		close(ch)
+		if _, err := nw.Serve(context.Background(), ch); err == nil {
+			t.Errorf("pair %+v should fail", bad)
+		}
+	}
+}
