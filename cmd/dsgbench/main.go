@@ -7,8 +7,8 @@
 // Like every binary in this repo, -seed fixes the deterministic stream and
 // -out captures the report (a file here; stdout when empty). Timing goes to
 // stderr, so two runs with the same -seed produce byte-identical captured
-// output — except E17, whose requests/sec and lag columns are wall-clock
-// measurements by design.
+// output — except the wall-clock columns of E17 (requests/sec, lag) and E18
+// (requests/sec), which measure real elapsed time by design.
 //
 // Usage:
 //
@@ -16,6 +16,7 @@
 //	dsgbench -run E1,E8           # run selected experiments
 //	dsgbench -quick -out rep.txt  # smaller sizes, report into rep.txt
 //	dsgbench -seed 7              # change the random seed
+//	dsgbench -run E18 -shards 2,8 # sweep shard counts for the sharded study
 //	dsgbench -list                # list registered experiments and exit
 package main
 
@@ -30,11 +31,12 @@ import (
 
 func main() {
 	var (
-		run   = flag.String("run", "", "comma-separated experiment ids (e.g. E1,E8); empty = all")
-		quick = flag.Bool("quick", false, "run at reduced scale")
-		list  = flag.Bool("list", false, "list registered experiments and exit")
-		seed  = cliutil.AddSeed(flag.CommandLine)
-		out   = cliutil.AddOut(flag.CommandLine, "write the rendered tables to this file (default stdout)")
+		run    = flag.String("run", "", "comma-separated experiment ids (e.g. E1,E8); empty = all")
+		quick  = flag.Bool("quick", false, "run at reduced scale")
+		list   = flag.Bool("list", false, "list registered experiments and exit")
+		seed   = cliutil.AddSeed(flag.CommandLine)
+		out    = cliutil.AddOut(flag.CommandLine, "write the rendered tables to this file (default stdout)")
+		shards = cliutil.AddShards(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -48,6 +50,11 @@ func main() {
 		sc = experiments.Quick()
 	}
 	sc.Seed = *seed
+	if sweep, err := cliutil.ParseShards(*shards); err != nil {
+		cliutil.Fail("dsgbench", "%v", err)
+	} else if sweep != nil {
+		sc.Shards = sweep
+	}
 
 	selected, err := experiments.Select(*run)
 	if err != nil {

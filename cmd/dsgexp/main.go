@@ -1,17 +1,19 @@
 // Command dsgexp is the reproducible experiment runner: it executes a
-// configurable grid over the registered paper experiments (E1–E17) and
+// configurable grid over the registered paper experiments (E1–E18) and
 // writes machine-readable results — one CSV and one JSON per experiment
 // plus a BENCH_dsgexp.json summary — to a timestamped output directory.
 // Two runs with the same flags and seed produce byte-identical CSVs, so
 // result files can be diffed across commits to track the performance
-// trajectory of the implementation. (E17 is the one exemption: its
-// requests/sec and adjustment-lag columns are wall-clock measurements.)
+// trajectory of the implementation. (The exemptions: E17's requests/sec and
+// adjustment-lag columns and E18's requests/sec column are wall-clock
+// measurements; every other E17/E18 column is byte-stable.)
 //
 // Usage:
 //
 //	dsgexp -quick -seed 1            # all experiments, reduced scale
 //	dsgexp -full -repeats 5          # full scale, 5 repeats aggregated as mean/sd
 //	dsgexp -only E5,E8 -out results  # two experiments into ./results
+//	dsgexp -only E18 -shards 1,4,16  # sweep shard counts for the sharded study
 //	dsgexp -list                     # list registered experiments and exit
 //
 // Experiments run in parallel (bounded by -par); each (experiment, repeat)
@@ -41,6 +43,7 @@ func main() {
 		list    = flag.Bool("list", false, "list registered experiments and exit")
 		seed    = cliutil.AddSeed(flag.CommandLine)
 		out     = cliutil.AddOut(flag.CommandLine, "output directory (default dsgexp_runs/<timestamp>)")
+		shards  = cliutil.AddShards(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -59,6 +62,11 @@ func main() {
 		scaleName = "quick"
 	}
 	sc.Seed = *seed
+	if sweep, err := cliutil.ParseShards(*shards); err != nil {
+		fail("%v", err)
+	} else if sweep != nil {
+		sc.Shards = sweep
+	}
 
 	selected, err := experiments.Select(*only)
 	if err != nil {

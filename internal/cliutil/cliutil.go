@@ -16,6 +16,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -27,6 +29,40 @@ func AddSeed(fs *flag.FlagSet) *int64 {
 // AddOut registers the shared -out flag with a tool-specific usage string.
 func AddOut(fs *flag.FlagSet, usage string) *string {
 	return fs.String("out", "", usage)
+}
+
+// AddShards registers the shared -shards flag: a comma-separated list of
+// shard counts for the partitioned-serving experiments (E18). An empty value
+// keeps the scale's default sweep, so grid runs have the same -seed/-out
+// reproducibility whether or not shards are overridden.
+func AddShards(fs *flag.FlagSet) *string {
+	return fs.String("shards", "", "comma-separated shard counts for sharded experiments (e.g. 1,2,4,8); empty = scale default")
+}
+
+// ParseShards parses an AddShards value into shard counts. Empty input
+// yields nil (meaning: keep the default sweep); entries must be positive
+// integers.
+func ParseShards(v string) ([]int, error) {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(v, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("cliutil: bad shard count %q (want positive integers, e.g. 1,2,4,8)", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cliutil: empty -shards list %q", v)
+	}
+	return out, nil
 }
 
 // nopWriteCloser wraps stdout so text reporters can Close unconditionally.

@@ -25,6 +25,30 @@ func TestSharedFlags(t *testing.T) {
 	}
 }
 
+func TestParseShards(t *testing.T) {
+	fs := flag.NewFlagSet("z", flag.ContinueOnError)
+	shards := AddShards(fs)
+	if err := fs.Parse([]string{"-shards", "1, 2,4,8"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseShards(*shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 || got[0] != 1 || got[3] != 8 {
+		t.Fatalf("ParseShards = %v, want [1 2 4 8]", got)
+	}
+
+	if got, err := ParseShards(""); err != nil || got != nil {
+		t.Errorf("empty -shards must mean the default sweep, got %v, %v", got, err)
+	}
+	for _, bad := range []string{"0", "-1", "two", "1,,x", ","} {
+		if _, err := ParseShards(bad); err == nil {
+			t.Errorf("ParseShards(%q) must fail", bad)
+		}
+	}
+}
+
 func TestOutputStdoutAndFile(t *testing.T) {
 	w, err := Output("")
 	if err != nil {

@@ -1,6 +1,16 @@
 package core
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnknownNode is wrapped by Adjust when an endpoint id is not in the
+// graph. A free-running sharded engine matches it (errors.Is) to tolerate
+// adjustments that raced a shard migration: the pair routed fine against an
+// older snapshot, but one endpoint left this shard before its adjustment
+// reached the adjuster.
+var ErrUnknownNode = errors.New("core: unknown node id")
 
 // Pair is one communication request by node identifiers, the unit the
 // concurrent serving engine (internal/serve) feeds into the adjuster.
@@ -32,7 +42,7 @@ type AdjustResult struct {
 func (d *DSG) Adjust(uid, vid int64) (AdjustResult, error) {
 	u, v := d.NodeByID(uid), d.NodeByID(vid)
 	if u == nil || v == nil {
-		return AdjustResult{}, fmt.Errorf("core: unknown node id %d or %d", uid, vid)
+		return AdjustResult{}, fmt.Errorf("%w: %d or %d", ErrUnknownNode, uid, vid)
 	}
 	if u == v {
 		return AdjustResult{}, fmt.Errorf("core: self-communication for id %d", uid)

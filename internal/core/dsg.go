@@ -24,6 +24,9 @@ func NewFromGraph(g *skipgraph.Graph, cfg Config) *DSG {
 		}
 	}
 	d.nextDummyID = maxID + 1
+	if cfg.DummyIDBase > d.nextDummyID {
+		d.nextDummyID = cfg.DummyIDBase
+	}
 	if cfg.Finder != nil {
 		d.finder = cfg.Finder
 	} else {

@@ -89,6 +89,12 @@ type Config struct {
 	// CheckInvariants, when true, verifies the full set of structural
 	// invariants after every transformation (slow; for tests).
 	CheckInvariants bool
+	// DummyIDBase, when > 0, is the first identifier handed to dummy nodes.
+	// Dummy ids never collide with real ids inside one graph by construction,
+	// but a sharded deployment (internal/shard) migrates real nodes between
+	// graphs, so each shard gets its own disjoint dummy-id space to keep
+	// group ids unambiguous after any migration history.
+	DummyIDBase int64
 }
 
 func (c Config) withDefaults() Config {
@@ -145,6 +151,9 @@ func New(n int, cfg Config) *DSG {
 		rng:         rand.New(rand.NewSource(cfg.Seed + 1)),
 		st:          make(map[*skipgraph.Node]*nodeState, n),
 		nextDummyID: int64(n),
+	}
+	if cfg.DummyIDBase > d.nextDummyID {
+		d.nextDummyID = cfg.DummyIDBase
 	}
 	if cfg.Finder != nil {
 		d.finder = cfg.Finder

@@ -13,7 +13,7 @@ import (
 // paper), and the runner itself. The registry is the single source of truth
 // consumed by cmd/dsgexp, cmd/dsgbench, the tests, and docs/EXPERIMENTS.md.
 type Experiment struct {
-	// ID is the stable identifier (E1..E17) used for filtering and file names.
+	// ID is the stable identifier (E1..E18) used for filtering and file names.
 	ID string
 	// Name is a short slug (lowercase, hyphenated) for output files.
 	Name string
@@ -26,7 +26,7 @@ type Experiment struct {
 	Run func(Scale) *stats.Table
 }
 
-// Registry returns every registered experiment in canonical (E1..E17) order.
+// Registry returns every registered experiment in canonical (E1..E18) order.
 func Registry() []Experiment {
 	return []Experiment{
 		{
@@ -147,6 +147,13 @@ func Registry() []Experiment {
 			Description: "Concurrent serving: requests/sec scales with snapshot-routing workers while one adjuster batches adaptations.",
 			PaperRef:    "§III serving model; NUMA-aware layered skip graphs (Thomas & Mendes); Interlaced churn stabilization",
 			Run:         E17ThroughputScaling,
+		},
+		{
+			ID:          "E18",
+			Name:        "sharded-serving",
+			Description: "Partitioned serving: throughput scales with shard count while cross-shard routes stay two-leg and a skew-driven rebalancer levels hot shards.",
+			PaperRef:    "Aspnes-Shah partitioned key space (Skip Graphs, SODA 2003); Interlaced decentralized partitions; §III serving model",
+			Run:         E18ShardedServing,
 		},
 	}
 }

@@ -10,8 +10,8 @@ import (
 
 func TestRegistryWellFormed(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 17 {
-		t.Fatalf("registry has %d experiments, want 17", len(reg))
+	if len(reg) != 18 {
+		t.Fatalf("registry has %d experiments, want 18", len(reg))
 	}
 	seenID := map[string]bool{}
 	seenName := map[string]bool{}
@@ -41,7 +41,7 @@ func TestByIDAndSelect(t *testing.T) {
 	}
 
 	all, err := Select("")
-	if err != nil || len(all) != 17 {
+	if err != nil || len(all) != 18 {
 		t.Errorf("Select(\"\") = %d experiments, err %v", len(all), err)
 	}
 	some, err := Select(" e8, E5 ")

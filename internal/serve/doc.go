@@ -32,4 +32,18 @@
 // by at most the adjustment backlog. The lag delays the working-set
 // adaptation but never breaks correctness: every snapshot is a complete,
 // valid skip graph, so any routing in it stays within its a·H worst case.
+//
+// # Stable stat names
+//
+// The counters this package exports feed the public lsasg stats under fixed
+// field names; both sides are part of the compatibility surface:
+//
+//   - LiveStats.Shed — adjustments dropped because the free-running queue was
+//     full — surfaces as lsasg.Stats.ShedAdjustments (summed over all engines
+//     of a sharded network; always 0 in the deterministic Serve pipeline,
+//     which never sheds).
+//   - Engine joins/leaves driven by shard migration (ApplyMembershipBatch /
+//     MigrateMembership) are additionally counted by the sharded service and
+//     surface as lsasg.Stats.Rebalances (planner runs that migrated a range)
+//     and lsasg.Stats.MigratedKeys (keys moved across shards).
 package serve

@@ -25,6 +25,13 @@ type Config struct {
 	// OnResult, when non-nil, observes every request served by Serve, in
 	// sequence order (the deterministic order, independent of Parallelism).
 	OnResult func(r Result)
+	// TolerateAdjustMiss, when true, keeps a free-running adjustment that
+	// fails on an unknown node id (core.ErrUnknownNode) out of the engine's
+	// first-error slot — it still counts in LiveStats.Failed. A sharded
+	// service sets it: routing legs race shard migrations by design, and a
+	// leg whose endpoint migrated away between route and adjustment is
+	// expected, not an engine fault.
+	TolerateAdjustMiss bool
 }
 
 func (c Config) parallelism() int {
@@ -160,11 +167,20 @@ const (
 	opAdjust taskOp = iota
 	opJoin
 	opLeave
+	// opBarrier carries no mutation: its done channel is closed after the
+	// snapshot of the batch containing it publishes, so a caller can wait
+	// until every previously enqueued task is both applied AND visible to
+	// routers. Migration uses it to order "joins visible" before a directory
+	// swap.
+	opBarrier
 )
 
 type task struct {
 	op       taskOp
 	src, dst int64
+	// done, when non-nil, receives the task's apply error (nil on success);
+	// for opBarrier it is closed after the batch's snapshot publication.
+	done chan error
 }
 
 // New creates an engine over the DSG and publishes the epoch-0 snapshot.

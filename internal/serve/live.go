@@ -1,8 +1,10 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 
+	"lsasg/internal/core"
 	"lsasg/internal/skipgraph"
 )
 
@@ -164,6 +166,11 @@ func (e *Engine) adjustLoop() {
 		}
 		e.applyLive(batch)
 		e.publish()
+		for _, bt := range batch {
+			if bt.op == opBarrier {
+				close(bt.done)
+			}
+		}
 		if closed {
 			return
 		}
@@ -175,6 +182,9 @@ func (e *Engine) adjustLoop() {
 // route that raced a departure) must not wedge the adjuster.
 func (e *Engine) applyLive(batch []task) {
 	for _, t := range batch {
+		if t.op == opBarrier {
+			continue // signalled by adjustLoop after the snapshot publishes
+		}
 		var err error
 		switch t.op {
 		case opAdjust:
@@ -196,11 +206,17 @@ func (e *Engine) applyLive(batch []task) {
 		e.consumed.Add(1)
 		if err != nil {
 			e.failed.Add(1)
-			e.errMu.Lock()
-			if e.firstErr == nil {
-				e.firstErr = err
+			tolerated := t.op == opAdjust && e.cfg.TolerateAdjustMiss && errors.Is(err, core.ErrUnknownNode)
+			if !tolerated {
+				e.errMu.Lock()
+				if e.firstErr == nil {
+					e.firstErr = err
+				}
+				e.errMu.Unlock()
 			}
-			e.errMu.Unlock()
+		}
+		if t.done != nil {
+			t.done <- err
 		}
 	}
 }

@@ -1,0 +1,114 @@
+package serve
+
+import "fmt"
+
+// This file is the membership-migration surface used by the sharded service
+// (internal/shard): a rebalancer moves a contiguous key range between two
+// engines' graphs as a tracked leave/join batch. Each engine mode has its
+// own entry point — ApplyMembershipBatch for an idle engine (the
+// deterministic pipeline migrates at inter-window barriers) and
+// MigrateMembership for a running one (tasks serialize through the adjuster
+// like all other mutation, but unlike SubmitJoin/SubmitLeave they are never
+// shed: a dropped migration op would strand a key in zero or two shards).
+
+// ApplyMembershipBatch applies joins then leaves directly to the live graph
+// and publishes one fresh snapshot. It requires an idle engine — neither
+// Serve nor free-running mode active — because it mutates outside the
+// adjuster. Failing ids are skipped (the rest of the batch still applies)
+// and the first error is returned; the snapshot publishes either way so the
+// routing side always observes whatever did apply.
+func (e *Engine) ApplyMembershipBatch(joins, leaves []int64) error {
+	e.mu.Lock()
+	if e.started || e.serving {
+		e.mu.Unlock()
+		return fmt.Errorf("serve: ApplyMembershipBatch needs an idle engine (no Serve, no Start)")
+	}
+	e.serving = true // reserve the engine against overlapping mutation
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		e.serving = false
+		e.mu.Unlock()
+	}()
+
+	var firstErr error
+	for _, id := range joins {
+		if _, err := e.dsg.Add(id); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		e.joins.Add(1)
+	}
+	for _, id := range leaves {
+		if err := e.dsg.RemoveNode(id); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		e.leaves.Add(1)
+	}
+	e.publish()
+	return firstErr
+}
+
+// MigrateMembership enqueues joins then leaves onto a free-running engine's
+// adjustment queue with blocking sends (never shed), then waits until the
+// snapshot containing every one of them has published. It returns the first
+// apply error (nil in a healthy migration). The publish barrier is what lets
+// a caller order "keys visible in the destination shard" strictly before a
+// directory epoch swap.
+func (e *Engine) MigrateMembership(joins, leaves []int64) error {
+	dones := make([]chan error, 0, len(joins)+len(leaves))
+	enqueue := func(op taskOp, id int64) error {
+		ch := make(chan error, 1) // buffered: the adjuster never blocks on it
+		if err := e.offerWait(task{op: op, src: id, done: ch}); err != nil {
+			return err
+		}
+		dones = append(dones, ch)
+		return nil
+	}
+	for _, id := range joins {
+		if err := enqueue(opJoin, id); err != nil {
+			return err
+		}
+	}
+	for _, id := range leaves {
+		if err := enqueue(opLeave, id); err != nil {
+			return err
+		}
+	}
+	barrier := make(chan error)
+	if err := e.offerWait(task{op: opBarrier, done: barrier}); err != nil {
+		return err
+	}
+	var firstErr error
+	for _, ch := range dones {
+		if err := <-ch; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	<-barrier // closed after the batch's snapshot publication
+	return firstErr
+}
+
+// offerWait is the blocking twin of offer: it enqueues t, waiting for queue
+// space instead of shedding. Holding the read lock across the send is safe —
+// the adjuster drains independently of the lock, and Stop cannot close the
+// queue until the lock is released — and is what guarantees the send never
+// races the close. Barriers stay out of the Enqueued/Pending books: they are
+// control flow, not work.
+func (e *Engine) offerWait(t task) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if !e.started || e.closing {
+		return fmt.Errorf("serve: membership migration on an engine that is not running")
+	}
+	if t.op != opBarrier {
+		e.enqueued.Add(1)
+	}
+	e.queue <- t
+	return nil
+}

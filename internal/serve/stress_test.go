@@ -88,6 +88,104 @@ func TestServeStress(t *testing.T) {
 	}
 }
 
+// TestMigrateMembershipStress races the never-shed migration path against
+// routing load: workers route on snapshots while a migrator cycles key
+// ranges out of and back into the graph through MigrateMembership, whose
+// publish barrier must hold under the race detector. CI runs this alongside
+// TestServeStress with -race.
+func TestMigrateMembershipStress(t *testing.T) {
+	const (
+		n       = 64
+		workers = 4
+		perW    = 250
+	)
+	d := core.New(n, core.Config{A: 4, Seed: 11})
+	e := New(d, Config{BatchSize: 8, Backlog: 32})
+	e.Start()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(200 + w)))
+			for i := 0; i < perW; i++ {
+				// Route only within the stable core [8, n): keys below 8
+				// migrate out and back concurrently.
+				u := int64(8 + rng.Intn(n-8))
+				v := int64(8 + rng.Intn(n-8))
+				if u == v {
+					continue
+				}
+				if _, _, err := e.Route(u, v); err != nil {
+					t.Errorf("worker %d: route %d→%d: %v", w, u, v, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		moving := []int64{0, 1, 2, 3, 4, 5, 6, 7}
+		for cycle := 0; cycle < 10; cycle++ {
+			if err := e.MigrateMembership(nil, moving); err != nil {
+				t.Errorf("cycle %d: migrate out: %v", cycle, err)
+				return
+			}
+			if err := e.MigrateMembership(moving, nil); err != nil {
+				t.Errorf("cycle %d: migrate in: %v", cycle, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if err := e.Stop(); err != nil {
+		t.Fatalf("adjuster reported: %v", err)
+	}
+	live := e.Live()
+	if live.Joins != 80 || live.Leaves != 80 {
+		t.Errorf("migration cycles applied %d joins / %d leaves, want 80/80", live.Joins, live.Leaves)
+	}
+	if live.Enqueued != live.Applied+live.Failed+live.Joins+live.Leaves || live.Pending != 0 {
+		t.Errorf("counter books don't balance after drain: %+v", live)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("live DSG invalid after migration stress: %v", err)
+	}
+}
+
+// TestApplyMembershipBatchIdle: the idle-mode migration entry point applies
+// the batch, publishes exactly one snapshot, and refuses busy engines.
+func TestApplyMembershipBatchIdle(t *testing.T) {
+	d := core.New(16, core.Config{A: 4, Seed: 5})
+	e := New(d, Config{})
+	epoch0 := e.Snapshot().Epoch
+	if err := e.ApplyMembershipBatch([]int64{100, 101}, []int64{3}); err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Snapshot()
+	if snap.Epoch != epoch0+1 {
+		t.Errorf("epoch advanced %d→%d, want one publication", epoch0, snap.Epoch)
+	}
+	if _, err := snap.Route(100, 101); err != nil {
+		t.Errorf("joined keys not routable in the new snapshot: %v", err)
+	}
+	if _, err := snap.Route(1, 3); err == nil {
+		t.Error("left key 3 still routable in the new snapshot")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("live DSG invalid after batch: %v", err)
+	}
+
+	busy := New(core.New(16, core.Config{A: 4, Seed: 5}), Config{})
+	busy.Start()
+	defer busy.Stop()
+	if err := busy.ApplyMembershipBatch([]int64{50}, nil); err == nil {
+		t.Error("ApplyMembershipBatch on a started engine must fail")
+	}
+}
+
 // TestModeConflict: one engine, one mode — Serve on a started engine (and
 // an overlapping Serve) must error instead of racing the adjuster.
 func TestModeConflict(t *testing.T) {

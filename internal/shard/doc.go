@@ -1,0 +1,57 @@
+// Package shard is the partitioned serving subsystem: it splits the key
+// space [0, n) across S independent self-adjusting skip graphs, each wrapped
+// in its own serve.Engine with its own adjuster, behind an immutable,
+// epoch-stamped shard directory that maps keys to shards.
+//
+// # Partitioning model
+//
+// Shards own contiguous key ranges — the skip graph's membership-vector
+// address space is ordered, so a contiguous split keeps every shard a valid
+// skip graph over its own keys (Aspnes & Shah) and keeps the directory a
+// plain sorted boundary array. Intra-shard requests go straight to that
+// shard's engine: routing, transformation, and the scoped a-balance repair
+// all stay purely local to one shard, exactly the paper's model at size n/S.
+//
+// Cross-shard requests are directory-addressed two-leg routes: source →
+// boundary inside the source shard, then boundary → destination inside the
+// destination shard, plus one inter-shard forwarding hop (the directory
+// lookup — O(1), like any partitioned key-value service). Each leg adjusts
+// its own shard, so boundary nodes become working-set-hot and cross-shard
+// legs get cheap over time; the per-leg worst case stays the per-shard
+// a·H(n/S) bound, so a cross-shard request costs at most 2·a·H(n/S) + 1 —
+// still O(log n), within a factor 2 of the paper's single-graph a·H(n)
+// guarantee for any S, and at or below it once S ≥ √n (then H(n/S) ≤
+// H(n)/2).
+//
+// # Rebalancing
+//
+// A skew-driven rebalancer watches per-shard load — routed leg endpoints per
+// key plus each engine's adjustment backlog — and, when the max/mean shard
+// load ratio crosses a threshold, migrates a contiguous key range from the
+// hottest shard to its lighter adjacent neighbour. The split point is chosen
+// by walking per-key load in from the edge being donated until half the load
+// gap has moved. Migration is a tracked leave/join batch through the serve
+// engines' membership path (never shed), ordered so a key is always routable
+// somewhere:
+//
+//  1. join the range into the destination shard and wait for its snapshot
+//     to publish,
+//  2. publish a new directory epoch with the moved boundary,
+//  3. leave the range from the source shard.
+//
+// Between (1) and (3) a key is briefly routable in both shards; both answers
+// are correct. A route that loaded the old directory after (3) can miss the
+// key in the source shard's snapshot — it observes skipgraph.ErrUnknownKey,
+// reloads the directory, and retries (bounded). Adjustments racing the
+// migration the same way are tolerated by the engines
+// (serve.Config.TolerateAdjustMiss).
+//
+// # Modes
+//
+// Like serve.Engine, a Service runs in exactly one of two modes: the
+// deterministic Serve pipeline (requests dispatched in order onto concurrent
+// per-shard engine pipelines, with rebalancing at deterministic window
+// boundaries — every statistic is a pure function of the request sequence
+// and configuration) or free-running Start/Route/Stop (any number of
+// routing callers, a background rebalancer on a wall-clock interval).
+package shard

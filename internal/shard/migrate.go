@@ -1,0 +1,45 @@
+package shard
+
+import (
+	"fmt"
+
+	"lsasg/internal/serve"
+	"lsasg/internal/skipgraph"
+)
+
+// executeMigration runs one planned migration through the given membership
+// applier — (*serve.Engine).MigrateMembership against running engines,
+// (*serve.Engine).ApplyMembershipBatch between deterministic windows. The
+// applier must guarantee that when it returns, the changes are visible in
+// the engine's published snapshot; that is what makes the ordering safe:
+//
+//  1. join the range into the destination shard (snapshot published),
+//  2. publish the new directory epoch,
+//  3. leave the range from the source shard,
+//
+// so every directory value ever observable names a shard whose snapshot
+// holds the key. The moved ids come from the source shard's published
+// snapshot (immutable, safe to read while its adjuster works).
+func (s *Service) executeMigration(dir *Directory, plan migrationPlan,
+	apply func(eng *serve.Engine, joins, leaves []int64) error) error {
+	ids := s.shards[plan.From].eng.Snapshot().Graph.RealKeysInRange(
+		skipgraph.KeyOf(plan.Lo), skipgraph.KeyOf(plan.Hi))
+	if len(ids) == 0 {
+		return nil
+	}
+	b, start := plan.boundaryAfter()
+	next, err := dir.withBoundary(b, start)
+	if err != nil {
+		return err
+	}
+	if err := apply(s.shards[plan.To].eng, ids, nil); err != nil {
+		return fmt.Errorf("shard: migrating %d keys into shard %d: %w", len(ids), plan.To, err)
+	}
+	s.dir.Store(next)
+	if err := apply(s.shards[plan.From].eng, nil, ids); err != nil {
+		return fmt.Errorf("shard: retiring %d keys from shard %d: %w", len(ids), plan.From, err)
+	}
+	s.rebalances.Add(1)
+	s.movedKeys.Add(int64(len(ids)))
+	return nil
+}

@@ -1,0 +1,274 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+
+	"lsasg/internal/core"
+	"lsasg/internal/serve"
+)
+
+// This file is the deterministic mode: a sequential dispatcher splits the
+// request stream into per-shard legs feeding S concurrent engine pipelines,
+// and the rebalancer runs at engine-idle barriers between fixed-size request
+// windows. Every statistic is a pure function of the request sequence and
+// the configuration — independent of Parallelism, shard pipeline scheduling,
+// and producer timing — because each shard's leg sequence, each engine's
+// batch schedule, and every planner input is fixed by the dispatch order.
+
+// Request is one communication request between two keys, the unit Serve
+// consumes.
+type Request struct {
+	Src, Dst int64
+}
+
+// ServeStats aggregates one deterministic Serve run. All fields are
+// deterministic for a fixed seed, shard count, and request sequence.
+type ServeStats struct {
+	Requests int64
+	Intra    int64 // requests resolved inside one shard
+	Cross    int64 // requests routed source→boundary, boundary→destination
+	Legs     int64 // engine-routed legs (≤ Requests + Cross)
+
+	Windows    int64 // non-empty rebalance windows the run spanned
+	Rebalances int64 // migrations executed at window barriers
+	MovedKeys  int64 // keys moved across shards
+
+	Batches            int64 // summed over shard engines
+	SnapshotsPublished int64
+
+	// TotalRouteDistance/Hops span whole requests: leg distances measured in
+	// the shards' snapshots, plus the boundary intermediates and the one
+	// inter-shard forwarding hop of each cross-shard request.
+	TotalRouteDistance int64
+	TotalRouteHops     int64
+	// MaxLegDistance is the worst single-leg snapshot distance (per-leg, not
+	// per-request: legs of one cross-shard request finish in different
+	// shards' pipelines).
+	MaxLegDistance int64
+
+	TotalTransformRounds int64
+	TotalAdjustLag       int64
+	MaxAdjustLag         int
+
+	// LoadRatioFirst/Last are the max/mean shard-load ratios of the first
+	// non-empty window and the last *full* window — the skew the rebalancer
+	// saw before acting and the skew it left behind. A trailing partial
+	// window (the stream rarely ends exactly on a window boundary) holds too
+	// few requests for its ratio to mean anything, so it only counts when no
+	// full window exists at all.
+	LoadRatioFirst float64
+	LoadRatioLast  float64
+
+	Height     int // tallest shard after the run
+	DummyCount int // summed over shards
+}
+
+// pipe is one shard's in-flight window pipeline.
+type pipe struct {
+	ch   chan core.Pair
+	done chan struct{}
+	st   serve.Stats
+	err  error
+}
+
+// Serve consumes requests until the channel closes (or ctx is cancelled),
+// dispatching each to its shard engines' deterministic pipelines, and
+// returns the aggregate statistics. After every RebalanceEvery requests the
+// shard pipelines drain to a barrier, the planner inspects the window's
+// per-key loads, and at most one contiguous range migrates between adjacent
+// shards before the next window starts — so rebalancing decisions (and the
+// resulting directory epochs) are as deterministic as everything else.
+//
+// Serve refuses to run on a service in free-running mode (Start) and rejects
+// overlapping calls. Producers should select on the same ctx for every send,
+// exactly as with Network.Serve.
+func (s *Service) Serve(ctx context.Context, in <-chan Request) (ServeStats, error) {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return ServeStats{}, fmt.Errorf("shard: Serve on a service already in free-running mode (Start)")
+	}
+	if s.serving {
+		s.mu.Unlock()
+		return ServeStats{}, fmt.Errorf("shard: overlapping Serve calls on one service")
+	}
+	s.serving = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.serving = false
+		s.mu.Unlock()
+	}()
+
+	var st ServeStats
+	rebal0, moved0 := s.rebalances.Load(), s.movedKeys.Load()
+	every := s.cfg.rebalanceEvery()
+	batch := s.cfg.BatchSize
+	if batch < 1 {
+		batch = 32
+	}
+	var retErr error
+	done := false
+	sawFullWindow := false
+	for !done {
+		dir := s.dir.Load()
+		pipes := make([]*pipe, len(s.shards))
+		for i, sl := range s.shards {
+			p := &pipe{ch: make(chan core.Pair, 4*batch), done: make(chan struct{})}
+			pipes[i] = p
+			go func(sl *slot, p *pipe) {
+				p.st, p.err = sl.eng.Serve(ctx, p.ch)
+				close(p.done)
+			}(sl, p)
+		}
+		dispatched := 0
+		for dispatched < every && retErr == nil && !done {
+			select {
+			case <-ctx.Done():
+				done, retErr = true, ctx.Err()
+			case r, ok := <-in:
+				if !ok {
+					done = true
+					break
+				}
+				if err := s.checkPair(r); err != nil {
+					done, retErr = true, err
+					break
+				}
+				if !s.dispatch(ctx, dir, r, pipes, &st) {
+					done = true // a pipeline died; its error surfaces below
+					break
+				}
+				dispatched++
+			}
+		}
+		for _, p := range pipes {
+			close(p.ch)
+		}
+		for _, p := range pipes {
+			<-p.done
+			if p.err != nil && retErr == nil {
+				retErr = p.err
+			}
+			st.Batches += p.st.Batches
+			st.SnapshotsPublished += p.st.SnapshotsPublished
+			st.TotalRouteDistance += p.st.TotalRouteDistance
+			st.TotalRouteHops += p.st.TotalRouteHops
+			if p.st.MaxRouteDistance > int(st.MaxLegDistance) {
+				st.MaxLegDistance = int64(p.st.MaxRouteDistance)
+			}
+			st.TotalTransformRounds += p.st.TotalTransformRounds
+			st.TotalAdjustLag += p.st.TotalAdjustLag
+			if p.st.MaxAdjustLag > st.MaxAdjustLag {
+				st.MaxAdjustLag = p.st.MaxAdjustLag
+			}
+		}
+		keyLoad := s.takeKeyLoads()
+		if dispatched > 0 {
+			st.Windows++
+			ratio := loadRatio(dir, keyLoad)
+			if st.LoadRatioFirst == 0 {
+				st.LoadRatioFirst = ratio
+			}
+			if dispatched == every {
+				st.LoadRatioLast = ratio
+				sawFullWindow = true
+			} else if !sawFullWindow {
+				st.LoadRatioLast = ratio
+			}
+		}
+		if done || retErr != nil {
+			break
+		}
+		// Rebalance at the barrier: every engine is idle between windows.
+		if plan, ok := planRebalance(dir, keyLoad, nil, s.cfg.skewThreshold(), s.cfg.minShardKeys()); ok {
+			if err := s.executeIdle(dir, plan); err != nil {
+				retErr = err
+				break
+			}
+		}
+	}
+	st.Rebalances = s.rebalances.Load() - rebal0
+	st.MovedKeys = s.movedKeys.Load() - moved0
+	st.Height = s.Height()
+	st.DummyCount = s.DummyCount()
+	return st, retErr
+}
+
+// dispatch splits one request into shard legs (the shared splitLegs rule)
+// and feeds them to the window pipelines, updating the dispatcher-side
+// books. It reports false when a pipeline stopped consuming (engine error
+// or cancellation).
+func (s *Service) dispatch(ctx context.Context, dir *Directory, r Request, pipes []*pipe, st *ServeStats) bool {
+	legs, n, cross := dir.splitLegs(r.Src, r.Dst)
+	st.Requests++
+	s.recordLoad(r.Src, r.Dst)
+	if s.cfg.OnRequest != nil {
+		s.cfg.OnRequest(r.Src, r.Dst, cross)
+	}
+	if cross {
+		st.Cross++
+		st.TotalRouteHops++ // the inter-shard forwarding hop
+		// Each non-trivial leg ends (or starts) at a boundary node, which is
+		// an intermediate of the whole-request path.
+		st.TotalRouteDistance += int64(n)
+	} else {
+		st.Intra++
+	}
+	for i := 0; i < n; i++ {
+		st.Legs++
+		select {
+		case pipes[legs[i].shard].ch <- core.Pair{Src: legs[i].src, Dst: legs[i].dst}:
+		case <-pipes[legs[i].shard].done:
+			return false
+		case <-ctx.Done():
+			return false
+		}
+	}
+	return true
+}
+
+// executeIdle runs one migration with every engine idle, applying
+// membership directly (ApplyMembershipBatch publishes the snapshot
+// synchronously, satisfying executeMigration's applier contract).
+func (s *Service) executeIdle(dir *Directory, plan migrationPlan) error {
+	return s.executeMigration(dir, plan, func(eng *serve.Engine, joins, leaves []int64) error {
+		return eng.ApplyMembershipBatch(joins, leaves)
+	})
+}
+
+// checkPair validates one request.
+func (s *Service) checkPair(r Request) error {
+	if err := s.checkKey(r.Src); err != nil {
+		return err
+	}
+	if err := s.checkKey(r.Dst); err != nil {
+		return err
+	}
+	if r.Src == r.Dst {
+		return fmt.Errorf("shard: source and destination are both %d", r.Src)
+	}
+	return nil
+}
+
+// loadRatio computes the max/mean per-shard load ratio of one window.
+func loadRatio(dir *Directory, keyLoad []int64) float64 {
+	n := dir.Shards()
+	var total, max int64
+	for i := 0; i < n; i++ {
+		lo, hi := dir.Range(i)
+		var l int64
+		for k := lo; k < hi; k++ {
+			l += keyLoad[k]
+		}
+		total += l
+		if l > max {
+			max = l
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(max) * float64(n) / float64(total)
+}

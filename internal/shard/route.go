@@ -1,0 +1,235 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"lsasg/internal/serve"
+	"lsasg/internal/skipgraph"
+)
+
+// This file is the free-running mode: Route may be called from any number of
+// goroutines; every shard's engine runs its own adjuster, and a background
+// rebalancer migrates key ranges on a wall-clock cadence.
+
+// maxRouteRetries bounds the directory-reload retries a route performs when
+// it races a migration (each retry observes a strictly newer epoch, and a
+// migration bumps the epoch once, so 1 retry usually suffices).
+const maxRouteRetries = 3
+
+// RouteInfo reports one routed request.
+type RouteInfo struct {
+	CrossShard bool
+	// Distance and Hops span the whole request: both legs plus the one
+	// inter-shard forwarding hop for cross-shard requests.
+	Distance int
+	Hops     int
+	// DirEpoch is the directory epoch the route resolved against.
+	DirEpoch int64
+}
+
+// Start launches every shard engine's adjuster plus the background
+// rebalancer. It must be called exactly once, and only on a service that is
+// not used via Serve.
+func (s *Service) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		panic("shard: Service.Start called twice")
+	}
+	if s.serving {
+		panic("shard: Service.Start while Serve is running")
+	}
+	s.started = true
+	s.stop = make(chan struct{})
+	for _, sl := range s.shards {
+		sl.eng.Start()
+	}
+	s.rebalWG.Add(1)
+	go s.rebalanceLoop()
+}
+
+// Stop halts the rebalancer, drains and stops every shard engine, and
+// returns the first engine error (nil in a healthy run). Safe to call more
+// than once.
+func (s *Service) Stop() error {
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return fmt.Errorf("shard: Stop before Start")
+	}
+	if !s.stopped {
+		s.stopped = true
+		close(s.stop)
+	}
+	s.mu.Unlock()
+	s.rebalWG.Wait()
+	var firstErr error
+	for _, sl := range s.shards {
+		if err := sl.eng.Stop(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Route routes src → dst through the current directory: one engine route for
+// an intra-shard pair, two directory-addressed legs (source → boundary,
+// boundary → destination) plus one forwarding hop across shards. Each leg
+// routes against its shard's freshest snapshot and offers its adjustment to
+// that shard's adjuster. Safe for concurrent use.
+//
+// A route that races a migration can observe skipgraph.ErrUnknownKey — the
+// key left the resolved shard between the directory read and the snapshot
+// read. It retries against a fresh directory (bounded), so callers only see
+// an error when the topology is genuinely unroutable. A retry re-resolves
+// the WHOLE request: the old decomposition is stale (boundaries moved), so
+// "re-run only the failed leg" is not well defined across epochs. A leg the
+// failed attempt already routed has therefore also already offered its
+// adjustment; the retry may offer it again, which at the engine level is
+// just a repeated pair — harmless to correctness, bounded by
+// maxRouteRetries, and only in the migration race window. Engine-level leg
+// counters can accordingly run slightly ahead of the service's Routed
+// count.
+func (s *Service) Route(src, dst int64) (RouteInfo, error) {
+	if err := s.checkKey(src); err != nil {
+		return RouteInfo{}, err
+	}
+	if err := s.checkKey(dst); err != nil {
+		return RouteInfo{}, err
+	}
+	if src == dst {
+		return RouteInfo{}, fmt.Errorf("shard: source and destination are both %d", src)
+	}
+	var lastErr error
+	for attempt := 0; attempt <= maxRouteRetries; attempt++ {
+		if attempt > 0 {
+			s.retried.Add(1)
+		}
+		info, err := s.routeOnce(s.dir.Load(), src, dst)
+		if err == nil {
+			s.routed.Add(1)
+			if info.CrossShard {
+				s.cross.Add(1)
+			} else {
+				s.intra.Add(1)
+			}
+			s.distSum.Add(int64(info.Distance))
+			s.hopSum.Add(int64(info.Hops))
+			s.recordLoad(src, dst)
+			return info, nil
+		}
+		lastErr = err
+		if !errors.Is(err, skipgraph.ErrUnknownKey) {
+			break
+		}
+	}
+	return RouteInfo{}, lastErr
+}
+
+// routeOnce resolves and routes under one directory value.
+func (s *Service) routeOnce(dir *Directory, src, dst int64) (RouteInfo, error) {
+	legs, n, cross := dir.splitLegs(src, dst)
+	info := RouteInfo{CrossShard: cross, DirEpoch: dir.Epoch()}
+	if cross {
+		info.Hops = 1 // the directory-addressed inter-shard forwarding hop
+	}
+	for i := 0; i < n; i++ {
+		r, _, err := s.shards[legs[i].shard].eng.Route(legs[i].src, legs[i].dst)
+		if err != nil {
+			return RouteInfo{}, err
+		}
+		info.Hops += r.Hops()
+	}
+	info.Distance = info.Hops - 1
+	return info, nil
+}
+
+// rebalanceLoop is the background planner: every RebalanceInterval it drains
+// the load window, plans, and executes at most one migration.
+func (s *Service) rebalanceLoop() {
+	defer s.rebalWG.Done()
+	ticker := time.NewTicker(s.cfg.rebalanceInterval())
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			if _, err := s.rebalanceOnce(); err != nil {
+				s.rebalErrors.Add(1)
+			}
+		}
+	}
+}
+
+// rebalanceOnce runs one planner pass against the live load window and
+// executes the migration it emits, if any. It reports whether a migration
+// ran. Only the rebalancer goroutine (or a test driving the service
+// single-threadedly between Start and Stop) may call it.
+func (s *Service) rebalanceOnce() (bool, error) {
+	dir := s.dir.Load()
+	keyLoad := s.takeKeyLoads()
+	backlog := make([]int64, len(s.shards))
+	for i, sl := range s.shards {
+		backlog[i] = sl.eng.Pending()
+	}
+	plan, ok := planRebalance(dir, keyLoad, backlog, s.cfg.skewThreshold(), s.cfg.minShardKeys())
+	if !ok {
+		return false, nil
+	}
+	// MigrateMembership serializes through the running adjusters and returns
+	// only once the changes are in a published snapshot — the applier
+	// contract executeMigration's epoch ordering needs.
+	return true, s.executeMigration(dir, plan, func(eng *serve.Engine, joins, leaves []int64) error {
+		return eng.MigrateMembership(joins, leaves)
+	})
+}
+
+// LiveStats is a point-in-time sample of the free-running counters, summed
+// over the service and its shard engines.
+type LiveStats struct {
+	Routed           int64 // requests routed (legs are not double-counted)
+	Intra, Cross     int64 // intra- vs cross-shard requests
+	RouteDistanceSum int64 // Σ distance, inter-shard hop included
+	RouteHopSum      int64
+	Retried          int64 // directory-reload retries after racing a migration
+
+	Rebalances     int64 // migrations executed
+	MigratedKeys   int64 // keys moved across shards
+	RebalanceFails int64 // planner passes that errored (engines stopping)
+	DirectoryEpoch int64
+
+	Applied, Shed, Failed int64 // summed over shard engines
+	Pending               int64
+	SnapshotsPublished    int64
+	Joins, Leaves         int64 // membership ops applied by migrations
+}
+
+// Live samples the free-running counters.
+func (s *Service) Live() LiveStats {
+	st := LiveStats{
+		Routed:           s.routed.Load(),
+		Intra:            s.intra.Load(),
+		Cross:            s.cross.Load(),
+		RouteDistanceSum: s.distSum.Load(),
+		RouteHopSum:      s.hopSum.Load(),
+		Retried:          s.retried.Load(),
+		Rebalances:       s.rebalances.Load(),
+		MigratedKeys:     s.movedKeys.Load(),
+		RebalanceFails:   s.rebalErrors.Load(),
+		DirectoryEpoch:   s.dir.Load().Epoch(),
+	}
+	for _, sl := range s.shards {
+		l := sl.eng.Live()
+		st.Applied += l.Applied
+		st.Shed += l.Shed
+		st.Failed += l.Failed
+		st.Pending += l.Pending
+		st.SnapshotsPublished += l.SnapshotsPublished
+		st.Joins += l.Joins
+		st.Leaves += l.Leaves
+	}
+	return st
+}

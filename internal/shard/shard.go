@@ -1,0 +1,211 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lsasg/internal/core"
+	"lsasg/internal/serve"
+	"lsasg/internal/skipgraph"
+)
+
+// Config parameterizes a Service.
+type Config struct {
+	// Shards is the number of partitions S (≥ 1). Values < 1 mean 1.
+	Shards int
+	// A is the a-balance parameter of every shard's DSG (default 4).
+	A int
+	// Seed drives all randomness; shard i derives its own stream from it, so
+	// results are reproducible for a fixed (Seed, Shards) pair.
+	Seed int64
+	// Parallelism and BatchSize configure each shard's serve.Engine.
+	Parallelism int
+	BatchSize   int
+	// Backlog bounds each shard's free-running adjustment queue.
+	Backlog int
+
+	// RebalanceEvery is the deterministic pipeline's window length in
+	// requests: after every window the planner runs at an engine-idle
+	// barrier. Values < 1 mean 512.
+	RebalanceEvery int
+	// RebalanceInterval is the free-running planner period (default 50ms).
+	RebalanceInterval time.Duration
+	// SkewThreshold is the max/mean shard-load ratio that triggers a
+	// migration (default 1.5; values ≤ 1 mean the default).
+	SkewThreshold float64
+	// MinShardKeys is the smallest key count a migration may leave in a
+	// shard (default 2).
+	MinShardKeys int
+
+	// OnRequest, when non-nil, observes every request accepted by the
+	// deterministic Serve pipeline in sequence order (before its legs are
+	// dispatched). The sharded public API uses it for working-set
+	// bookkeeping.
+	OnRequest func(src, dst int64, crossShard bool)
+}
+
+func (c Config) shards() int {
+	if c.Shards < 1 {
+		return 1
+	}
+	return c.Shards
+}
+
+func (c Config) rebalanceEvery() int {
+	if c.RebalanceEvery < 1 {
+		return 512
+	}
+	return c.RebalanceEvery
+}
+
+func (c Config) rebalanceInterval() time.Duration {
+	if c.RebalanceInterval <= 0 {
+		return 50 * time.Millisecond
+	}
+	return c.RebalanceInterval
+}
+
+func (c Config) skewThreshold() float64 {
+	if c.SkewThreshold <= 1 {
+		return 1.5
+	}
+	return c.SkewThreshold
+}
+
+func (c Config) minShardKeys() int {
+	if c.MinShardKeys < 2 {
+		return 2
+	}
+	return c.MinShardKeys
+}
+
+// slot is one shard: its live DSG and the engine serializing its mutation.
+type slot struct {
+	dsg *core.DSG
+	eng *serve.Engine
+}
+
+// Service is a sharded self-adjusting skip-graph service over the static key
+// space [0, n). Construction partitions the keys evenly; the rebalancer may
+// move contiguous ranges between shards afterwards, so a shard's range is
+// whatever the current directory epoch says.
+type Service struct {
+	cfg    Config
+	n      int64
+	shards []*slot
+	dir    atomic.Pointer[Directory]
+
+	// keyLoad[k] counts routed leg endpoints touching key k in the current
+	// load window; the planner consumes and resets it.
+	keyLoad []atomic.Int64
+
+	mu      sync.Mutex // guards the mode flags and Stop
+	started bool
+	serving bool
+	stopped bool
+	stop    chan struct{}
+	rebalWG sync.WaitGroup
+
+	routed      atomic.Int64
+	intra       atomic.Int64
+	cross       atomic.Int64
+	distSum     atomic.Int64
+	hopSum      atomic.Int64
+	retried     atomic.Int64
+	rebalances  atomic.Int64
+	movedKeys   atomic.Int64
+	rebalErrors atomic.Int64
+}
+
+// New builds a sharded service over keys 0..n-1. Every shard needs at least
+// MinShardKeys keys in the initial split.
+func New(n int, cfg Config) (*Service, error) {
+	s := cfg.shards()
+	if n < s*cfg.minShardKeys() {
+		return nil, fmt.Errorf("shard: %d keys cannot fill %d shards with ≥ %d keys each", n, s, cfg.minShardKeys())
+	}
+	svc := &Service{cfg: cfg, n: int64(n), keyLoad: make([]atomic.Int64, n)}
+	dir := newDirectory(int64(n), s)
+	svc.dir.Store(dir)
+	a := cfg.A
+	if a == 0 {
+		a = 4
+	}
+	for i := 0; i < s; i++ {
+		lo, hi := dir.Range(i)
+		nodes := make([]*skipgraph.Node, 0, hi-lo)
+		for k := lo; k < hi; k++ {
+			nodes = append(nodes, skipgraph.NewNode(skipgraph.KeyOf(k), k))
+		}
+		g := skipgraph.NewFromNodes(nodes, skipgraph.RandomBrancher(cfg.Seed+int64(i)*1_000_003))
+		d := core.NewFromGraph(g, core.Config{
+			A:    a,
+			Seed: cfg.Seed + int64(i),
+			// Disjoint dummy-id spaces per shard: migration can carry any
+			// real id into any shard, so dummy ids live far above them all.
+			DummyIDBase: int64(n) + int64(i+1)<<32,
+		})
+		eng := serve.New(d, serve.Config{
+			Parallelism:        cfg.Parallelism,
+			BatchSize:          cfg.BatchSize,
+			Backlog:            cfg.Backlog,
+			TolerateAdjustMiss: true,
+		})
+		svc.shards = append(svc.shards, &slot{dsg: d, eng: eng})
+	}
+	return svc, nil
+}
+
+// N returns the total key count.
+func (s *Service) N() int { return int(s.n) }
+
+// Shards returns the shard count.
+func (s *Service) Shards() int { return len(s.shards) }
+
+// Directory returns the current directory (immutable; callers may hold it).
+func (s *Service) Directory() *Directory { return s.dir.Load() }
+
+// Height returns the tallest shard topology.
+func (s *Service) Height() int {
+	h := 0
+	for _, sl := range s.shards {
+		if sh := sl.eng.Snapshot().Graph.Height(); sh > h {
+			h = sh
+		}
+	}
+	return h
+}
+
+// DummyCount sums the dummy populations of all shards.
+func (s *Service) DummyCount() int {
+	c := 0
+	for _, sl := range s.shards {
+		c += sl.dsg.DummyCount()
+	}
+	return c
+}
+
+// checkKey validates one endpoint.
+func (s *Service) checkKey(k int64) error {
+	if k < 0 || k >= s.n {
+		return fmt.Errorf("shard: key %d out of range [0, %d)", k, s.n)
+	}
+	return nil
+}
+
+// recordLoad attributes one routed request's endpoints to the load window.
+func (s *Service) recordLoad(src, dst int64) {
+	s.keyLoad[src].Add(1)
+	s.keyLoad[dst].Add(1)
+}
+
+// takeKeyLoads drains the per-key load window into a plain slice.
+func (s *Service) takeKeyLoads() []int64 {
+	out := make([]int64, len(s.keyLoad))
+	for i := range s.keyLoad {
+		out[i] = s.keyLoad[i].Swap(0)
+	}
+	return out
+}

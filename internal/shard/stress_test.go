@@ -1,0 +1,90 @@
+package shard
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"lsasg/internal/workload"
+)
+
+// TestShardedStress is the race-detector stress for the sharded path: many
+// goroutines route across shards — each route reading an immutable
+// skipgraph.Graph.Clone snapshot plus the shared directory pointer — while
+// the background rebalancer swaps directory epochs and migrates key ranges
+// through the running adjusters. CI runs this with -race on every PR
+// alongside the serve-engine stress.
+func TestShardedStress(t *testing.T) {
+	const (
+		n       = 96
+		workers = 8
+		perW    = 400
+	)
+	svc, err := New(n, Config{Shards: 4, Seed: 42, BatchSize: 8, Backlog: 64,
+		RebalanceInterval: 200 * time.Microsecond, SkewThreshold: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+
+	// Skewed traffic keeps the planner migrating while workers route.
+	gen := workload.HotRange{LoFrac: 0, HiFrac: 0.2, Hot: 0.8}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			gw := gen
+			gw.Seed = int64(300 + w)
+			for _, r := range gw.Generate(n, perW) {
+				if _, err := svc.Route(int64(r.Src), int64(r.Dst)); err != nil {
+					t.Errorf("worker %d: route %d→%d: %v", w, r.Src, r.Dst, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := svc.Stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+
+	live := svc.Live()
+	if live.Routed != workers*perW || live.Intra+live.Cross != live.Routed {
+		t.Errorf("route books don't balance: %+v", live)
+	}
+	if live.RebalanceFails != 0 {
+		t.Errorf("%d planner passes errored: %+v", live.RebalanceFails, live)
+	}
+	if live.MigratedKeys != live.Joins || live.MigratedKeys != live.Leaves {
+		t.Errorf("migration books don't balance: moved %d, joins %d, leaves %d",
+			live.MigratedKeys, live.Joins, live.Leaves)
+	}
+	for i, sl := range svc.shards {
+		if err := sl.dsg.Validate(); err != nil {
+			t.Fatalf("shard %d DSG invalid after stress: %v", i, err)
+		}
+	}
+	// The final directory + snapshots route the whole key space.
+	dir := svc.Directory()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		u, v := int64(rng.Intn(n)), int64(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		if _, err := svc.routeOnce(dir, u, v); err != nil {
+			t.Fatalf("final route %d→%d: %v", u, v, err)
+		}
+	}
+	// Every key has exactly one owner, and it is the directory's.
+	for k := int64(0); k < n; k++ {
+		owner := dir.ShardOf(k)
+		for i, sl := range svc.shards {
+			if (sl.dsg.NodeByID(k) != nil) != (i == owner) {
+				t.Fatalf("key %d: shard %d presence disagrees with owner %d", k, i, owner)
+			}
+		}
+	}
+}

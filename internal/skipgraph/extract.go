@@ -1,0 +1,49 @@
+package skipgraph
+
+import "sort"
+
+// This file is the range-extraction side of shard migration
+// (internal/shard): a rebalancer moves a contiguous key range from one
+// shard's graph to another via tracked leave/join batches, and needs the
+// exact membership of that range as it exists in the live graph.
+
+// RealKeysInRange returns the primary keys of the real (non-dummy) nodes
+// whose key lies in [lo, hi), in ascending order. Dummies are excluded: they
+// are balance artifacts of the graph they live in and are never migrated —
+// the destination shard's own repair re-creates whatever padding its lists
+// need (§IV-F).
+func (g *Graph) RealKeysInRange(lo, hi Key) []int64 {
+	start := sort.Search(len(g.nodes), func(i int) bool { return !g.nodes[i].key.Less(lo) })
+	var keys []int64
+	for _, n := range g.nodes[start:] {
+		if !n.key.Less(hi) {
+			break
+		}
+		if !n.dummy {
+			keys = append(keys, n.key.Primary)
+		}
+	}
+	return keys
+}
+
+// RealKeyBounds returns the smallest and largest real-node primary keys in
+// the graph. ok is false when the graph holds no real nodes.
+func (g *Graph) RealKeyBounds() (min, max int64, ok bool) {
+	for _, n := range g.nodes {
+		if !n.dummy {
+			min = n.key.Primary
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return 0, 0, false
+	}
+	for i := len(g.nodes) - 1; i >= 0; i-- {
+		if !g.nodes[i].dummy {
+			max = g.nodes[i].key.Primary
+			break
+		}
+	}
+	return min, max, true
+}

@@ -1,0 +1,49 @@
+package skipgraph
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestRealKeysInRange: extraction respects the half-open bounds, skips
+// dummies, and stays in ascending order.
+func TestRealKeysInRange(t *testing.T) {
+	g := NewRandom(16, 3)
+	// Plant a dummy between 7 and 8, the way balance repair does.
+	dm := NewDummy(Key{Primary: 7, Minor: 1}, 100)
+	g.SpliceIn(dm)
+
+	got := g.RealKeysInRange(KeyOf(5), KeyOf(12))
+	want := []int64{5, 6, 7, 8, 9, 10, 11}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("RealKeysInRange(5, 12) = %v, want %v", got, want)
+	}
+	if got := g.RealKeysInRange(KeyOf(16), KeyOf(99)); got != nil {
+		t.Errorf("out-of-range extraction = %v, want nil", got)
+	}
+	if got := g.RealKeysInRange(KeyOf(0), KeyOf(1)); !reflect.DeepEqual(got, []int64{0}) {
+		t.Errorf("single-key extraction = %v, want [0]", got)
+	}
+
+	min, max, ok := g.RealKeyBounds()
+	if !ok || min != 0 || max != 15 {
+		t.Errorf("RealKeyBounds = (%d, %d, %v), want (0, 15, true)", min, max, ok)
+	}
+}
+
+// TestRouteKeysUnknownKeySentinel: a missing endpoint wraps ErrUnknownKey so
+// the sharded router can distinguish "key migrated away" from structural
+// failures.
+func TestRouteKeysUnknownKeySentinel(t *testing.T) {
+	g := NewRandom(8, 1)
+	if _, err := g.RouteKeys(KeyOf(99), KeyOf(1)); !errors.Is(err, ErrUnknownKey) {
+		t.Errorf("unknown source: err = %v, want ErrUnknownKey", err)
+	}
+	if _, err := g.RouteKeys(KeyOf(1), KeyOf(99)); !errors.Is(err, ErrUnknownKey) {
+		t.Errorf("unknown destination: err = %v, want ErrUnknownKey", err)
+	}
+	if _, err := g.RouteKeys(KeyOf(1), KeyOf(2)); err != nil {
+		t.Errorf("valid route errored: %v", err)
+	}
+}

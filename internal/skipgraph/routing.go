@@ -1,6 +1,15 @@
 package skipgraph
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnknownKey is wrapped by RouteKeys when an endpoint key is not in the
+// graph. The sharded service matches it (errors.Is) to tell "this key moved
+// to another shard mid-route" — retryable against a fresh directory — apart
+// from structural routing failures, which are not.
+var ErrUnknownKey = errors.New("skipgraph: unknown key")
 
 // RouteResult describes one standard skip-graph routing (paper Appendix B).
 type RouteResult struct {
@@ -75,10 +84,10 @@ func (g *Graph) Route(src, dst *Node) (RouteResult, error) {
 func (g *Graph) RouteKeys(src, dst Key) (RouteResult, error) {
 	s, d := g.byKey[src], g.byKey[dst]
 	if s == nil {
-		return RouteResult{}, fmt.Errorf("skipgraph: unknown source key %v", src)
+		return RouteResult{}, fmt.Errorf("%w: source %v", ErrUnknownKey, src)
 	}
 	if d == nil {
-		return RouteResult{}, fmt.Errorf("skipgraph: unknown destination key %v", dst)
+		return RouteResult{}, fmt.Errorf("%w: destination %v", ErrUnknownKey, dst)
 	}
 	return g.Route(s, d)
 }

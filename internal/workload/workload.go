@@ -281,6 +281,71 @@ func (g Adversarial) Generate(n, m int) []Request {
 	return reqs
 }
 
+// HotRange concentrates traffic on one contiguous key range: with
+// probability Hot both endpoints are drawn uniformly from [LoFrac·n,
+// HiFrac·n), otherwise uniformly from all nodes. This is the hot-shard
+// regime for partitioned deployments — a contiguous range is exactly what a
+// range-sharded directory assigns to one shard, so a skew-driven rebalancer
+// must split the range to level the load (experiment E18).
+type HotRange struct {
+	Seed   int64
+	LoFrac float64 // start of the hot range as a fraction of n (default 0)
+	HiFrac float64 // end of the hot range as a fraction of n (default 0.125)
+	Hot    float64 // probability a request stays inside the hot range
+}
+
+// Name implements Generator.
+func (g HotRange) Name() string {
+	lo, hi := g.bounds()
+	return fmt.Sprintf("hotrange(%.2f-%.2f,hot=%.2f)", lo, hi, g.Hot)
+}
+
+// bounds normalizes the range fractions.
+func (g HotRange) bounds() (lo, hi float64) {
+	lo, hi = g.LoFrac, g.HiFrac
+	if hi <= lo {
+		lo, hi = 0, 0.125
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// Generate implements Generator.
+func (g HotRange) Generate(n, m int) []Request {
+	checkArgs(n, m)
+	loF, hiF := g.bounds()
+	lo := int(loF * float64(n))
+	hi := int(hiF * float64(n))
+	if hi < lo+2 { // a hot pair needs two distinct keys
+		hi = lo + 2
+	}
+	if hi > n {
+		lo, hi = n-2, n
+	}
+	rng := rand.New(rand.NewSource(g.Seed))
+	reqs := make([]Request, 0, m)
+	for len(reqs) < m {
+		var src, dst int
+		if rng.Float64() < g.Hot {
+			src = lo + rng.Intn(hi-lo)
+			dst = lo + rng.Intn(hi-lo)
+		} else {
+			src = rng.Intn(n)
+			dst = rng.Intn(n)
+		}
+		if src == dst {
+			continue
+		}
+		reqs = append(reqs, Request{Src: src, Dst: dst})
+	}
+	return reqs
+}
+
 // Zipfian frequency helper used in analyses/tests.
 
 // ZipfWeights returns normalized Zipf weights for ranks 1..n with exponent s.

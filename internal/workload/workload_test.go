@@ -14,6 +14,33 @@ func allGenerators() []Generator {
 		Temporal{Seed: 4, W: 8, Churn: 0.1},
 		Clustered{Seed: 5, C: 4, Local: 0.8},
 		Adversarial{Seed: 6},
+		HotRange{Seed: 7, LoFrac: 0, HiFrac: 0.125, Hot: 0.85},
+	}
+}
+
+// TestHotRangeConcentration: the hot fraction of requests stays inside the
+// configured contiguous range, and the defaults kick in for a degenerate
+// range.
+func TestHotRangeConcentration(t *testing.T) {
+	const n, m = 64, 4000
+	g := HotRange{Seed: 11, LoFrac: 0, HiFrac: 0.125, Hot: 0.85}
+	reqs := g.Generate(n, m)
+	inHot := 0
+	for _, r := range reqs {
+		if r.Src < 8 && r.Dst < 8 {
+			inHot++
+		}
+	}
+	frac := float64(inHot) / float64(m)
+	if frac < 0.75 || frac > 0.95 {
+		t.Errorf("hot fraction %.3f, want ≈ 0.85", frac)
+	}
+	// Degenerate fractions fall back to the default eighth.
+	d := HotRange{Seed: 12, LoFrac: 0.5, HiFrac: 0.5, Hot: 1}
+	for i, r := range d.Generate(n, 100) {
+		if r.Src >= 8 || r.Dst >= 8 {
+			t.Fatalf("default range: request %d = %+v escapes [0, 8)", i, r)
+		}
 	}
 }
 

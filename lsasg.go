@@ -38,6 +38,7 @@ type options struct {
 	trackWorkingSet bool
 	parallelism     int
 	batchSize       int
+	shards          int
 }
 
 // WithBalance sets the a-balance parameter (≥ 2). Larger values reduce
@@ -83,6 +84,14 @@ func WithParallelism(p int) Option {
 // snapshot cost but increase the adjustment lag requests observe.
 func WithBatchSize(k int) Option {
 	return func(o *options) { o.batchSize = k }
+}
+
+// WithShards sets the number of partitions a sharded network splits the key
+// space across (NewSharded only; default 4). Each shard is an independent
+// self-adjusting skip graph with its own adjuster, so aggregate adjustment
+// throughput scales with the shard count.
+func WithShards(s int) Option {
+	return func(o *options) { o.shards = s }
 }
 
 // Result reports one served request.
@@ -229,7 +238,10 @@ func (nw *Network) DirectlyLinked(src, dst int) (bool, int) {
 	return nw.dsg.Graph().DirectlyLinked(u, v)
 }
 
-// Stats summarizes the served request sequence.
+// Stats summarizes the served request sequence. The concurrency/sharding
+// fields at the bottom carry the stable names documented in internal/serve's
+// package comment; they stay zero for configurations that cannot produce
+// them (an unsharded Network never sheds, migrates, or rebalances).
 type Stats struct {
 	Requests             int
 	MeanRouteDistance    float64
@@ -241,6 +253,16 @@ type Stats struct {
 	WorkingSetBound float64
 	Height          int
 	DummyCount      int
+
+	// ShedAdjustments counts adjustments dropped by free-running engines
+	// because their queue was full. The deterministic Serve pipelines never
+	// shed, so this is non-zero only for free-running sharded use.
+	ShedAdjustments int64
+	// Rebalances counts skew-driven migrations the sharded rebalancer
+	// executed; MigratedKeys counts the keys those migrations moved between
+	// shards. Both are 0 for an unsharded Network.
+	Rebalances   int64
+	MigratedKeys int64
 }
 
 // Stats returns aggregate statistics for the requests served so far.

@@ -26,7 +26,12 @@ type ServeStats struct {
 	// MeanRouteDistance is the mean d_S(σ) measured in the snapshot each
 	// request was routed against.
 	MeanRouteDistance float64
-	// MaxRouteDistance is the worst snapshot routing distance observed.
+	// MaxRouteDistance is the worst snapshot routing distance observed. For
+	// a sharded run this is the worst single LEG (the legs of one
+	// cross-shard request finish in different shards' pipelines, so
+	// whole-request maxima are not tracked) while MeanRouteDistance spans
+	// whole requests — with heavily cross-shard traffic the max can
+	// therefore legitimately sit below the mean.
 	MaxRouteDistance int
 	// TotalTransformRounds sums ρ over all applied adjustments.
 	TotalTransformRounds int64
@@ -39,6 +44,19 @@ type ServeStats struct {
 	// Height and DummyCount describe the live topology after the run.
 	Height     int
 	DummyCount int
+
+	// The sharded fields below stay zero for an unsharded Network.Serve.
+
+	// Shards is the partition count the run served across (0 for a plain
+	// Network).
+	Shards int
+	// CrossShardRequests counts requests whose endpoints resolved to
+	// different shards and were routed source→boundary, boundary→destination.
+	CrossShardRequests int64
+	// Rebalances and MigratedKeys report the skew-driven rebalancer's
+	// activity during the run (window-barrier migrations).
+	Rebalances   int64
+	MigratedKeys int64
 }
 
 // Serve consumes communication requests from the channel until it closes (or
