@@ -7,8 +7,9 @@
 // Like every binary in this repo, -seed fixes the deterministic stream and
 // -out captures the report (a file here; stdout when empty). Timing goes to
 // stderr, so two runs with the same -seed produce byte-identical captured
-// output — except the wall-clock columns of E17 (requests/sec, lag) and E18
-// (requests/sec), which measure real elapsed time by design.
+// output — except the wall-clock columns of E17 (requests/sec, lag), E18
+// (requests/sec), and E20 (events/sec), which measure real elapsed time by
+// design.
 //
 // Usage:
 //

@@ -1,12 +1,12 @@
 // Command dsgexp is the reproducible experiment runner: it executes a
-// configurable grid over the registered paper experiments (E1–E18) and
+// configurable grid over the registered paper experiments (E1–E18, E20) and
 // writes machine-readable results — one CSV and one JSON per experiment
 // plus a BENCH_dsgexp.json summary — to a timestamped output directory.
 // Two runs with the same flags and seed produce byte-identical CSVs, so
 // result files can be diffed across commits to track the performance
 // trajectory of the implementation. (The exemptions: E17's requests/sec and
-// adjustment-lag columns and E18's requests/sec column are wall-clock
-// measurements; every other E17/E18 column is byte-stable.)
+// adjustment-lag columns, E18's requests/sec column, and E20's events/sec
+// column are wall-clock measurements; every other column is byte-stable.)
 //
 // Usage:
 //

@@ -47,6 +47,11 @@ func (d *DSG) Adjust(uid, vid int64) (AdjustResult, error) {
 	if u == v {
 		return AdjustResult{}, fmt.Errorf("core: self-communication for id %d", uid)
 	}
+	if u.Dead() || v.Dead() {
+		// The pair routed against a snapshot that predates the crash; the
+		// transformation must not resurrect a dead endpoint into a group.
+		return AdjustResult{}, fmt.Errorf("%w: %d or %d", ErrCrashedNode, uid, vid)
+	}
 	d.clock++
 	r := d.transform(u, v, d.clock)
 	ins, rem := d.RepairBalancePending()

@@ -42,6 +42,22 @@ type TraceStats struct {
 
 	MaxHeight   int // highest graph height observed after any event
 	Validations int // number of full-graph validations performed
+
+	// Crash-failure measures (experiment E20). Routes counts only routes
+	// that succeeded; FailedRoutes counts availability probes that targeted
+	// a crashed (or already-repaired) peer. A failed probe against a peer
+	// still marked dead doubles as its failure detection.
+	Crashes         int // crash events applied
+	FailedRoutes    int // routes that failed against a crashed peer
+	CrashDetections int // dead peers detected at route/transform time
+	CrashRepairs    int // crash repairs completed (nodes spliced out)
+	// RecoveredCrashes counts crashes whose repair happened within the
+	// trace; RecoveryEvents sums, and MaxRecoveryEvents maximizes, the
+	// number of trace events between each crash and its repair — the
+	// deterministic time-to-recovery measure.
+	RecoveredCrashes  int
+	RecoveryEvents    int
+	MaxRecoveryEvents int
 }
 
 // MeanRouteDistance returns the mean routing distance per route event.
@@ -78,6 +94,25 @@ func (s TraceStats) RepairDummiesPerRoute() float64 {
 	return float64(s.RouteRepairs) / float64(s.Routes)
 }
 
+// RouteSuccessRate returns the fraction of attempted routes that succeeded —
+// the availability measure under crash failures (1.0 with no failed probes).
+func (s TraceStats) RouteSuccessRate() float64 {
+	attempted := s.Routes + s.FailedRoutes
+	if attempted == 0 {
+		return 1
+	}
+	return float64(s.Routes) / float64(attempted)
+}
+
+// MeanRecoveryEvents returns the mean number of trace events between a crash
+// and its repair, over the crashes repaired within the trace.
+func (s TraceStats) MeanRecoveryEvents() float64 {
+	if s.RecoveredCrashes == 0 {
+		return 0
+	}
+	return float64(s.RecoveryEvents) / float64(s.RecoveredCrashes)
+}
+
 // RunTrace consumes a dynamic workload: route events are served through the
 // full self-adjusting machinery (§IV-C–F), joins and leaves go through the
 // membership path with a-balance repair (§IV-G), and the per-node DSG state
@@ -93,6 +128,13 @@ func (s TraceStats) RepairDummiesPerRoute() float64 {
 // global repair once, so the validator's guarantees hold from event zero
 // even on the random initial topology (whose independent membership bits
 // carry no balance guarantee).
+//
+// Crash events (workload.OpCrash) mark the node dead in place — no repair
+// runs until a route detects the failure. Routes that target a crashed peer
+// fail (availability probes, counted in FailedRoutes) and trigger the
+// peer's repair; routes whose path crosses a dead intermediate detect and
+// repair it inside Serve, then re-route. Per-crash time-to-recovery is the
+// event distance between the crash and its repair.
 func (d *DSG) RunTrace(tr workload.Trace, opts TraceOptions) (TraceStats, error) {
 	var st TraceStats
 	d.RepairBalance()
@@ -106,21 +148,36 @@ func (d *DSG) RunTrace(tr workload.Trace, opts TraceOptions) (TraceStats, error)
 		ins, rem := d.RepairStats()
 		return ins + rem
 	}
+	_, det0, rep0 := d.CrashStats()
+	d.DrainCrashRepairs() // discard repairs from before this trace
+	crashEvent := make(map[int64]int)
 	for i, ev := range tr {
 		var cost EventCost
 		before := repairWork()
 		switch ev.Op {
 		case workload.OpRoute:
-			res, err := d.Serve(ev.Src, ev.Dst)
-			if err != nil {
-				return st, fmt.Errorf("core: trace event %d %s: %w", i, ev, err)
+			if vNode := d.NodeByID(ev.Dst); vNode == nil || vNode.Dead() {
+				// Availability probe from a stale client view: the
+				// destination crashed (and may already be repaired away).
+				// The failed contact attempt is itself the failure
+				// detection when the peer is still marked dead.
+				if vNode != nil {
+					d.crashDetectCount++
+					d.repairCrashed(vNode)
+				}
+				st.FailedRoutes++
+			} else {
+				res, err := d.Serve(ev.Src, ev.Dst)
+				if err != nil {
+					return st, fmt.Errorf("core: trace event %d %s: %w", i, ev, err)
+				}
+				d.RepairBalancePending()
+				st.Routes++
+				st.RouteDistance += res.RouteDistance
+				st.TransformRounds += res.TransformRounds
+				cost.RouteDistance = res.RouteDistance
+				cost.TransformRounds = res.TransformRounds
 			}
-			d.RepairBalancePending()
-			st.Routes++
-			st.RouteDistance += res.RouteDistance
-			st.TransformRounds += res.TransformRounds
-			cost.RouteDistance = res.RouteDistance
-			cost.TransformRounds = res.TransformRounds
 		case workload.OpJoin:
 			if _, err := d.Add(ev.Node); err != nil {
 				return st, fmt.Errorf("core: trace event %d %s: %w", i, ev, err)
@@ -131,8 +188,27 @@ func (d *DSG) RunTrace(tr workload.Trace, opts TraceOptions) (TraceStats, error)
 				return st, fmt.Errorf("core: trace event %d %s: %w", i, ev, err)
 			}
 			st.Leaves++
+		case workload.OpCrash:
+			if err := d.Crash(ev.Node); err != nil {
+				return st, fmt.Errorf("core: trace event %d %s: %w", i, ev, err)
+			}
+			st.Crashes++
+			crashEvent[ev.Node] = i
 		default:
 			return st, fmt.Errorf("core: trace event %d has unknown op %d", i, int(ev.Op))
+		}
+		for _, id := range d.DrainCrashRepairs() {
+			ce, ok := crashEvent[id]
+			if !ok {
+				continue
+			}
+			gap := i - ce
+			st.RecoveredCrashes++
+			st.RecoveryEvents += gap
+			if gap > st.MaxRecoveryEvents {
+				st.MaxRecoveryEvents = gap
+			}
+			delete(crashEvent, id)
 		}
 		cost.RepairDummies = repairWork() - before
 		st.RepairDummies += cost.RepairDummies
@@ -154,5 +230,8 @@ func (d *DSG) RunTrace(tr workload.Trace, opts TraceOptions) (TraceStats, error)
 			opts.OnEvent(i, ev, cost)
 		}
 	}
+	_, det, rep := d.CrashStats()
+	st.CrashDetections = det - det0
+	st.CrashRepairs = rep - rep0
 	return st, nil
 }

@@ -13,10 +13,11 @@ var (
 	fuzzEvents = flag.Int("churnfuzz.events", 1200, "events per churn fuzz seed")
 )
 
-// fuzzOp is one randomized operation against the DSG under test.
+// fuzzOp is one randomized operation against the DSG under test. The crash
+// fuzz (crash_fuzz_test.go) reuses it with two extra kinds.
 type fuzzOp struct {
-	Kind byte  // 'r' route, 'j' join, 'l' leave
-	A, B int64 // route endpoints, or the join/leave subject in A
+	Kind byte  // 'r' route, 'j' join, 'l' leave, 'c' crash, 'p' probe corpse
+	A, B int64 // route endpoints, or the subject id in A
 }
 
 func (op fuzzOp) String() string {
@@ -25,6 +26,10 @@ func (op fuzzOp) String() string {
 		return fmt.Sprintf("route(%d,%d)", op.A, op.B)
 	case 'j':
 		return fmt.Sprintf("join(%d)", op.A)
+	case 'c':
+		return fmt.Sprintf("crash(%d)", op.A)
+	case 'p':
+		return fmt.Sprintf("probe(%d)", op.A)
 	default:
 		return fmt.Sprintf("leave(%d)", op.A)
 	}

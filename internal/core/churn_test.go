@@ -72,14 +72,26 @@ func TestRunTraceKeepsWorkingSetState(t *testing.T) {
 func TestRunTraceRejectsBadEvents(t *testing.T) {
 	d := New(8, Config{A: 4, Seed: 1})
 	cases := []workload.Trace{
-		{{Op: workload.OpRoute, Src: 0, Dst: 99}},
+		{{Op: workload.OpRoute, Src: 99, Dst: 0}},
 		{{Op: workload.OpJoin, Node: 3}},
 		{{Op: workload.OpLeave, Node: 99}},
+		{{Op: workload.OpCrash, Node: 99}},
 		{{Op: workload.Op(9)}},
 	}
 	for i, tr := range cases {
 		if _, err := d.RunTrace(tr, TraceOptions{}); err == nil {
 			t.Errorf("case %d: no error", i)
 		}
+	}
+	// A route to an UNKNOWN destination is not an error but a failed
+	// availability probe: the runner cannot tell a crashed-and-repaired
+	// peer from one that never existed (Trace.Validate rejects the latter
+	// up front).
+	st, err := d.RunTrace(workload.Trace{{Op: workload.OpRoute, Src: 0, Dst: 99}}, TraceOptions{})
+	if err != nil {
+		t.Fatalf("unknown-dst probe: %v", err)
+	}
+	if st.FailedRoutes != 1 || st.Routes != 0 {
+		t.Errorf("unknown-dst probe: failed=%d routes=%d, want 1/0", st.FailedRoutes, st.Routes)
 	}
 }

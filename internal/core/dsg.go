@@ -78,6 +78,11 @@ func (d *DSG) syncStateDepthFor(x *skipgraph.Node) {
 // set.
 func (d *DSG) RemoveNode(id int64) error {
 	key := skipgraph.KeyOf(id)
+	if n := d.g.ByKey(key); n != nil && n.Dead() {
+		// A crashed node cannot run the leave-side protocol; its removal
+		// goes through the crash-repair path (RepairCrashedID) instead.
+		return fmt.Errorf("%w: %d", ErrCrashedNode, id)
+	}
 	n, refs := d.g.RemoveTracked(key)
 	if n == nil {
 		return fmt.Errorf("core: node %d not present", id)
@@ -122,11 +127,30 @@ func (d *DSG) dummyRemovable(dm *skipgraph.Node) bool {
 	return true
 }
 
-// removeDummy splices a dummy out of the graph and drops its state.
-func (d *DSG) removeDummy(dm *skipgraph.Node) {
+// removeDummy splices a dummy out of the graph, drops its state, and — when
+// the dummy was the only separator between two real live nodes sharing a
+// membership prefix at the top of their vectors — extends those nodes until
+// distinct again (the validator's adjacency invariant). It returns the lists
+// any such extension touched, which the balance-repair loops must fold back
+// into their dirty sets: a longer vector means new list memberships, and
+// those can carry fresh a-balance violations.
+func (d *DSG) removeDummy(dm *skipgraph.Node) []skipgraph.ListRef {
+	var cands []*skipgraph.Node
+	for l := 0; l <= dm.MaxLinkedLevel(); l++ {
+		for _, nb := range []*skipgraph.Node{dm.Prev(l), dm.Next(l)} {
+			if nb != nil && !nb.IsDummy() && !nb.Dead() {
+				cands = append(cands, nb)
+			}
+		}
+	}
 	d.g.Remove(dm.Key())
 	delete(d.st, dm)
 	d.dummyCount--
+	eff := d.g.ExtendDistinctFrom(cands, func(*skipgraph.Node, int) byte { return byte(d.rng.Intn(2)) })
+	for _, x := range eff.Extended {
+		d.syncStateDepthFor(x)
+	}
+	return eff.Touched
 }
 
 // freeKeyIn finds a key strictly between a and b for which occupied is

@@ -46,11 +46,16 @@ func (d *DSG) Validate() error {
 				return fmt.Errorf("vector: real node %d keyed %v, want %v", x.ID(), x.Key(), skipgraph.KeyOf(x.ID()))
 			}
 			// Past its membership vector a real node must be alone among
-			// real nodes; only dummies may share its top list (they stop
-			// splitting by design, §IV-F).
+			// live real nodes; only dummies — and crashed peers, which
+			// cannot extend their vectors and whose repair splices them out
+			// — may share its top list (dummies stop splitting by design,
+			// §IV-F).
+			if x.Dead() {
+				continue
+			}
 			top := x.BitsLen()
 			for _, nb := range []*skipgraph.Node{x.Prev(top), x.Next(top)} {
-				if nb != nil && !nb.IsDummy() {
+				if nb != nil && !nb.IsDummy() && !nb.Dead() {
 					return fmt.Errorf("vector: real nodes %d and %d share the full vector %q",
 						x.ID(), nb.ID(), x.MembershipVector())
 				}
@@ -118,6 +123,7 @@ func (d *DSG) RepairBalance() (inserted, removed int) {
 	// pure overhead — it stretches routing paths without breaking a chain.
 	// Removal only shortens runs, so one dummy's departure can make another
 	// removable; sweep until a pass finds nothing.
+	var extRefs []skipgraph.ListRef
 	for {
 		swept := 0
 		var dummies []*skipgraph.Node
@@ -128,7 +134,7 @@ func (d *DSG) RepairBalance() (inserted, removed int) {
 		}
 		for _, x := range dummies {
 			if d.dummyRemovable(x) {
-				d.removeDummy(x)
+				extRefs = append(extRefs, d.removeDummy(x)...)
 				swept++
 			}
 		}
@@ -139,6 +145,13 @@ func (d *DSG) RepairBalance() (inserted, removed int) {
 	}
 	d.repairInserted += inserted
 	d.repairRemoved += removed
+	// A distinctness extension during GC creates new list memberships that
+	// can carry fresh a-balance violations; chase them scoped.
+	if len(extRefs) > 0 {
+		ins, rem := d.RepairBalanceIn(extRefs)
+		inserted += ins
+		removed += rem
+	}
 	return inserted, removed
 }
 
@@ -158,36 +171,45 @@ func (d *DSG) RepairBalanceIn(refs []skipgraph.ListRef) (inserted, removed int) 
 	// dummy, whose windowed refs cover it). The accumulated set is kept for
 	// the garbage-collection phase below.
 	frontier := refs
-	var dirty []skipgraph.ListRef
-	for pass := 0; pass < 4*d.g.N()+16 && len(frontier) > 0; pass++ {
-		dirty = append(dirty, frontier...)
-		viols, scanned := d.g.BalanceViolationsIn(d.cfg.A, frontier)
-		d.repairScan += scanned
-		ins, rem, touched := d.repairViolations(viols)
-		inserted += ins
-		removed += rem
-		frontier = touched
-	}
-	// Scoped garbage collection: only a dummy inside a dirty list can have
-	// had the run it was breaking shortened, so only those can have become
-	// redundant since the last repair. After the first sweep, only the
-	// lists around a removal can hold newly redundant dummies.
-	gcFrontier := dirty
-	for {
-		swept := 0
-		var next []skipgraph.ListRef
-		for _, x := range d.dummiesIn(gcFrontier) {
-			if d.g.ByKey(x.Key()) == x && d.dummyRemovable(x) {
-				next = append(next, skipgraph.ExListRefs(x)...)
-				d.removeDummy(x)
-				swept++
+	for len(frontier) > 0 {
+		var dirty []skipgraph.ListRef
+		for pass := 0; pass < 4*d.g.N()+16 && len(frontier) > 0; pass++ {
+			dirty = append(dirty, frontier...)
+			viols, scanned := d.g.BalanceViolationsIn(d.cfg.A, frontier)
+			d.repairScan += scanned
+			ins, rem, touched := d.repairViolations(viols)
+			inserted += ins
+			removed += rem
+			frontier = touched
+		}
+		// Scoped garbage collection: only a dummy inside a dirty list can have
+		// had the run it was breaking shortened, so only those can have become
+		// redundant since the last repair. After the first sweep, only the
+		// lists around a removal can hold newly redundant dummies.
+		var extRefs []skipgraph.ListRef
+		gcFrontier := dirty
+		for {
+			swept := 0
+			var next []skipgraph.ListRef
+			for _, x := range d.dummiesIn(gcFrontier) {
+				if d.g.ByKey(x.Key()) == x && d.dummyRemovable(x) {
+					next = append(next, skipgraph.ExListRefs(x)...)
+					ext := d.removeDummy(x)
+					next = append(next, ext...)
+					extRefs = append(extRefs, ext...)
+					swept++
+				}
 			}
+			removed += swept
+			if swept == 0 {
+				break
+			}
+			gcFrontier = next
 		}
-		removed += swept
-		if swept == 0 {
-			break
-		}
-		gcFrontier = next
+		// A removal that forced a distinctness extension created new list
+		// memberships; those can carry fresh a-balance violations, so they
+		// become the next round's frontier.
+		frontier = extRefs
 	}
 	d.repairInserted += inserted
 	d.repairRemoved += removed
@@ -235,7 +257,7 @@ func (d *DSG) repairViolations(viols []skipgraph.BalanceViolation) (inserted, re
 		for _, y := range run {
 			if y.IsDummy() && d.dummyRemovable(y) {
 				touched = append(touched, skipgraph.ExListRefs(y)...)
-				d.removeDummy(y)
+				touched = append(touched, d.removeDummy(y)...)
 				removed++
 				dropped = true
 				break

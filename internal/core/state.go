@@ -137,6 +137,16 @@ type DSG struct {
 	// repairs.
 	joinScan   int
 	repairScan int
+
+	// Crash-failure bookkeeping (experiment E20): cumulative crashes,
+	// route/transform-time detections of dead peers, and completed crash
+	// repairs. crashRepairLog holds the ids of repaired nodes since the last
+	// DrainCrashRepairs call, in repair order, so a trace runner can measure
+	// per-crash time-to-recovery.
+	crashCount       int
+	crashDetectCount int
+	crashRepairCount int
+	crashRepairLog   []int64
 }
 
 // New creates a DSG over n nodes with keys and identifiers 0..n-1. The

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -33,6 +34,12 @@ func (r RequestResult) ServiceCost() int {
 // Serve handles one communication request between the real nodes with the
 // given identifiers: it routes u → v in the current topology, then runs the
 // DSG transformation (§IV-C through §IV-F).
+//
+// Serve tolerates crashed intermediates: a route that contacts a dead peer
+// (skipgraph.DeadRouteError) detects the failure, repairs it locally
+// (repairCrashed), and re-routes — each retry removes one dead node, so the
+// loop terminates. A crashed ENDPOINT is the caller's failure, reported as
+// ErrCrashedNode without a transformation.
 func (d *DSG) Serve(uid, vid int64) (RequestResult, error) {
 	u, v := d.NodeByID(uid), d.NodeByID(vid)
 	if u == nil || v == nil {
@@ -41,8 +48,27 @@ func (d *DSG) Serve(uid, vid int64) (RequestResult, error) {
 	if u == v {
 		return RequestResult{}, fmt.Errorf("core: self-communication for id %d", uid)
 	}
-	route, err := d.g.Route(u, v)
-	if err != nil {
+	if u.Dead() {
+		return RequestResult{}, fmt.Errorf("%w: %d", ErrCrashedNode, uid)
+	}
+	if v.Dead() {
+		return RequestResult{}, fmt.Errorf("%w: %d", ErrCrashedNode, vid)
+	}
+	var route skipgraph.RouteResult
+	for {
+		r, err := d.g.Route(u, v)
+		if err == nil {
+			route = r
+			break
+		}
+		var dre *skipgraph.DeadRouteError
+		if errors.As(err, &dre) && dre.Node != u && dre.Node != v {
+			// Failure detector fired on an intermediate: repair it in place
+			// and retry. The dead population strictly shrinks per retry.
+			d.crashDetectCount++
+			d.repairCrashed(dre.Node)
+			continue
+		}
 		return RequestResult{}, fmt.Errorf("core: routing failed: %w", err)
 	}
 	d.clock++
@@ -105,6 +131,26 @@ func (d *DSG) transform(u, v *skipgraph.Node, t int64) RequestResult {
 	// here bounds the record to one request for callers that never consume
 	// it.
 	d.pending = d.pending[:0]
+
+	// A crashed member of l_alpha cannot take part in the transformation —
+	// the notification broadcast would be its first contact, so detect and
+	// repair it now, exactly like a route-time detection. Each repair
+	// removes one dead node (it may insert dummies, never dead nodes), so
+	// the rescan loop terminates.
+	for {
+		var deadMember *skipgraph.Node
+		for _, x := range d.g.ListAt(u, ctx.alpha) {
+			if !x.IsDummy() && x.Dead() {
+				deadMember = x
+				break
+			}
+		}
+		if deadMember == nil {
+			break
+		}
+		d.crashDetectCount++
+		d.repairCrashed(deadMember)
+	}
 
 	// Dummy nodes destroy themselves upon receiving the transformation
 	// notification (§IV-F): they link their neighbours and vanish. One

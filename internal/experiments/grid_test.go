@@ -177,6 +177,44 @@ func TestShardedGoldenCSV(t *testing.T) {
 	}
 }
 
+// TestCrashGoldenCSV pins the availability-under-failure contract: with a
+// fixed seed, `dsgexp -only E20 -quick -seed 1` produces byte-stable CSV
+// output in every column except the wall-clock "events/s" column, which is
+// masked on both sides of the comparison. In particular the availability,
+// detection, repair-cost, and time-to-recovery columns are exact —
+// the crash model, the stale-probe schedule, and the repair machinery are
+// all deterministic for a fixed seed. Regenerate with
+// `go test ./internal/experiments -run Golden -update` after an intentional
+// change.
+func TestCrashGoldenCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	dir := t.TempDir()
+	gridQuickSeed1(t, dir, "E20")
+	raw, err := os.ReadFile(filepath.Join(dir, "E20-crash-availability.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := normalizeWallClock(t, raw, "events/s")
+	golden := filepath.Join("testdata", "E20-crash-availability.quick-seed1.csv")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("E20 CSV drifted from golden file %s:\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+}
+
 // TestGridDeterministic runs the same two-experiment grid twice and
 // requires identical CSV bytes — the reproducibility contract of dsgexp.
 func TestGridDeterministic(t *testing.T) {

@@ -13,7 +13,8 @@ import (
 // paper), and the runner itself. The registry is the single source of truth
 // consumed by cmd/dsgexp, cmd/dsgbench, the tests, and docs/EXPERIMENTS.md.
 type Experiment struct {
-	// ID is the stable identifier (E1..E18) used for filtering and file names.
+	// ID is the stable identifier (E1..E18, E20) used for filtering and file
+	// names. E19 is intentionally unassigned.
 	ID string
 	// Name is a short slug (lowercase, hyphenated) for output files.
 	Name string
@@ -26,7 +27,8 @@ type Experiment struct {
 	Run func(Scale) *stats.Table
 }
 
-// Registry returns every registered experiment in canonical (E1..E18) order.
+// Registry returns every registered experiment in canonical (E1..E18, E20)
+// order.
 func Registry() []Experiment {
 	return []Experiment{
 		{
@@ -154,6 +156,13 @@ func Registry() []Experiment {
 			Description: "Partitioned serving: throughput scales with shard count while cross-shard routes stay two-leg and a skew-driven rebalancer levels hot shards.",
 			PaperRef:    "Aspnes-Shah partitioned key space (Skip Graphs, SODA 2003); Interlaced decentralized partitions; §III serving model",
 			Run:         E18ShardedServing,
+		},
+		{
+			ID:          "E20",
+			Name:        "crash-availability",
+			Description: "Availability under crash failures: contact-time detection, decentralized local repair, and time-to-recovery across failure patterns.",
+			PaperRef:    "Rainbow Skip Graph (SODA 2006) contact-time fault discovery; Interlaced decentralized stabilization; §IV-G repair machinery",
+			Run:         E20CrashAvailability,
 		},
 	}
 }

@@ -10,14 +10,20 @@ import (
 
 func TestRegistryWellFormed(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 18 {
-		t.Fatalf("registry has %d experiments, want 18", len(reg))
+	if len(reg) != 19 {
+		t.Fatalf("registry has %d experiments, want 19", len(reg))
 	}
+	// E1..E18 are contiguous; E19 is intentionally unassigned and the
+	// crash-availability experiment carries E20.
 	seenID := map[string]bool{}
 	seenName := map[string]bool{}
 	for i, e := range reg {
-		if e.ID != "E"+strconv.Itoa(i+1) {
-			t.Errorf("entry %d has id %q, want E%d", i, e.ID, i+1)
+		want := "E" + strconv.Itoa(i+1)
+		if i == len(reg)-1 {
+			want = "E20"
+		}
+		if e.ID != want {
+			t.Errorf("entry %d has id %q, want %s", i, e.ID, want)
 		}
 		if seenID[e.ID] || seenName[e.Name] {
 			t.Errorf("duplicate id/name %q/%q", e.ID, e.Name)
@@ -41,8 +47,14 @@ func TestByIDAndSelect(t *testing.T) {
 	}
 
 	all, err := Select("")
-	if err != nil || len(all) != 18 {
+	if err != nil || len(all) != 19 {
 		t.Errorf("Select(\"\") = %d experiments, err %v", len(all), err)
+	}
+	if _, ok := ByID("E20"); !ok {
+		t.Error("ByID(E20) should resolve the crash-availability experiment")
+	}
+	if _, ok := ByID("E19"); ok {
+		t.Error("ByID(E19) should fail: E19 is intentionally unassigned")
 	}
 	some, err := Select(" e8, E5 ")
 	if err != nil {

@@ -26,11 +26,13 @@ type Config struct {
 	// sequence order (the deterministic order, independent of Parallelism).
 	OnResult func(r Result)
 	// TolerateAdjustMiss, when true, keeps a free-running adjustment that
-	// fails on an unknown node id (core.ErrUnknownNode) out of the engine's
-	// first-error slot — it still counts in LiveStats.Failed. A sharded
-	// service sets it: routing legs race shard migrations by design, and a
-	// leg whose endpoint migrated away between route and adjustment is
-	// expected, not an engine fault.
+	// fails on an unknown node id (core.ErrUnknownNode) or a crashed
+	// endpoint (core.ErrCrashedNode) out of the engine's first-error slot —
+	// it still counts in LiveStats.Failed. A sharded service sets it:
+	// routing legs race shard migrations and crash repairs by design, and a
+	// leg whose endpoint migrated away (or died) between route and
+	// adjustment is expected, not an engine fault. It also covers crash
+	// submissions for ids that already migrated off the shard.
 	TolerateAdjustMiss bool
 }
 
@@ -156,6 +158,9 @@ type Engine struct {
 	joins     atomic.Int64
 	leaves    atomic.Int64
 	epochs    atomic.Int64
+	crashes   atomic.Int64 // opCrash tasks applied
+	detected  atomic.Int64 // dead peers detected by Route
+	repairs   atomic.Int64 // crash repairs applied by the adjuster
 
 	errMu    sync.Mutex
 	firstErr error
@@ -167,6 +172,13 @@ const (
 	opAdjust taskOp = iota
 	opJoin
 	opLeave
+	// opCrash injects a crash failure: the node is marked dead in place
+	// (dangling neighbour references, no repair) by the adjuster.
+	opCrash
+	// opRepair splices a detected dead node out and restores a-balance over
+	// its ex-lists (core.RepairCrashedID). Idempotent by construction —
+	// many routes may detect the same failure and each enqueue a repair.
+	opRepair
 	// opBarrier carries no mutation: its done channel is closed after the
 	// snapshot of the batch containing it publishes, so a caller can wait
 	// until every previously enqueued task is both applied AND visible to
@@ -238,6 +250,12 @@ func (e *Engine) Serve(ctx context.Context, in <-chan core.Pair) (Stats, error) 
 	}()
 
 	var st Stats
+	// A context dead on arrival serves nothing, deterministically — without
+	// this check the intake select below races ctx.Done() against a ready
+	// channel and can drain a few requests first.
+	if err := ctx.Err(); err != nil {
+		return st, err
+	}
 	k := e.cfg.batchSize()
 	batch := make([]core.Pair, 0, k)
 	routes := make([]skipgraph.RouteResult, k)

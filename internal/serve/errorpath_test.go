@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"lsasg/internal/core"
+	"lsasg/internal/skipgraph"
+)
+
+// This file is the error-path layer for the serving engine: queue shedding,
+// adjustment-miss tolerance, early cancellation, and the free-running crash
+// detect/repair cycle. The happy paths live in serve_test.go.
+
+// TestOfferShedsWhenQueueFull pins the shed-on-full contract without racing a
+// live adjuster: the engine is put in the started state by hand (no
+// adjustLoop draining), so the queue fills deterministically.
+func TestOfferShedsWhenQueueFull(t *testing.T) {
+	e := New(core.New(16, core.Config{A: 4, Seed: 1}), Config{})
+	e.mu.Lock()
+	e.started = true
+	e.queue = make(chan task, 1)
+	e.mu.Unlock()
+	if !e.SubmitJoin(100) {
+		t.Fatal("first offer should be accepted into the empty queue")
+	}
+	if e.SubmitLeave(3) {
+		t.Error("second offer should shed: queue is full")
+	}
+	if e.SubmitCrash(4) {
+		t.Error("third offer should shed: queue is still full")
+	}
+	st := e.Live()
+	if st.Enqueued != 1 || st.Shed != 2 || st.Pending != 1 {
+		t.Errorf("enqueued=%d shed=%d pending=%d, want 1/2/1", st.Enqueued, st.Shed, st.Pending)
+	}
+}
+
+// TestOfferShedsBeforeStart: an engine that is not free-running sheds every
+// submission (and a Route still succeeds — only its adjustment is lost).
+func TestOfferShedsBeforeStart(t *testing.T) {
+	e := New(core.New(16, core.Config{A: 4, Seed: 2}), Config{})
+	if e.SubmitCrash(5) {
+		t.Error("submission before Start should shed")
+	}
+	if _, _, err := e.Route(1, 9); err != nil {
+		t.Fatalf("route before Start: %v", err)
+	}
+	st := e.Live()
+	if st.Routed != 1 || st.Shed != 2 || st.Enqueued != 0 {
+		t.Errorf("routed=%d shed=%d enqueued=%d, want 1/2/0", st.Routed, st.Shed, st.Enqueued)
+	}
+}
+
+// TestTolerateAdjustMiss drives applyLive directly (single-threaded, no
+// adjuster goroutine) through every miss class and checks which ones reach
+// the engine's first-error slot.
+func TestTolerateAdjustMiss(t *testing.T) {
+	cases := []struct {
+		name     string
+		tolerate bool
+		batch    task
+		prep     func(d *core.DSG)
+		fatal    bool // should land in firstErr
+	}{
+		{name: "unknown adjust intolerant", tolerate: false,
+			batch: task{op: opAdjust, src: 1, dst: 99}, fatal: true},
+		{name: "unknown adjust tolerated", tolerate: true,
+			batch: task{op: opAdjust, src: 1, dst: 99}, fatal: false},
+		{name: "crashed endpoint adjust tolerated", tolerate: true,
+			batch: task{op: opAdjust, src: 1, dst: 9},
+			prep:  func(d *core.DSG) { d.Crash(9) }, fatal: false},
+		{name: "crashed endpoint adjust intolerant", tolerate: false,
+			batch: task{op: opAdjust, src: 1, dst: 9},
+			prep:  func(d *core.DSG) { d.Crash(9) }, fatal: true},
+		{name: "crash of migrated id tolerated", tolerate: true,
+			batch: task{op: opCrash, src: 99}, fatal: false},
+		{name: "unknown leave stays fatal", tolerate: true,
+			batch: task{op: opLeave, src: 99}, fatal: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := core.New(16, core.Config{A: 4, Seed: 7})
+			if tc.prep != nil {
+				tc.prep(d)
+			}
+			e := New(d, Config{TolerateAdjustMiss: tc.tolerate})
+			e.applyLive([]task{tc.batch})
+			st := e.Live()
+			if st.Failed != 1 {
+				t.Fatalf("failed=%d, want 1", st.Failed)
+			}
+			e.errMu.Lock()
+			gotFatal := e.firstErr != nil
+			e.errMu.Unlock()
+			if gotFatal != tc.fatal {
+				t.Errorf("firstErr set = %v, want %v (err: %v)", gotFatal, tc.fatal, e.firstErr)
+			}
+		})
+	}
+}
+
+// TestApplyLiveLeaveRacesCrash: a leave consumed after the same node crashed
+// must degrade into the crash repair — the id leaves the graph exactly once,
+// counted as both a leave and a repair, and is not an engine fault.
+func TestApplyLiveLeaveRacesCrash(t *testing.T) {
+	d := core.New(16, core.Config{A: 4, Seed: 11})
+	if err := d.Crash(6); err != nil {
+		t.Fatal(err)
+	}
+	e := New(d, Config{})
+	e.applyLive([]task{{op: opLeave, src: 6}})
+	st := e.Live()
+	if st.Leaves != 1 || st.CrashRepairs != 1 || st.Failed != 0 {
+		t.Errorf("leaves=%d repairs=%d failed=%d, want 1/1/0", st.Leaves, st.CrashRepairs, st.Failed)
+	}
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	if e.firstErr != nil {
+		t.Errorf("firstErr = %v, want nil", e.firstErr)
+	}
+	if d.NodeByID(6) != nil {
+		t.Error("node 6 still present after leave-races-crash repair")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("invalid after repair: %v", err)
+	}
+}
+
+// TestServeEarlyCancel: a context cancelled before Serve starts returns
+// ctx.Err() having served nothing, and the engine stays reusable.
+func TestServeEarlyCancel(t *testing.T) {
+	d := core.New(16, core.Config{A: 4, Seed: 13})
+	e := New(d, Config{BatchSize: 4})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ch := make(chan core.Pair, 1)
+	ch <- core.Pair{Src: 1, Dst: 2}
+	close(ch)
+	st, err := e.Serve(ctx, ch)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st.Requests != 0 {
+		t.Errorf("served %d requests under a dead context, want 0", st.Requests)
+	}
+	// The engine was released: a fresh healthy run must work.
+	ch2 := make(chan core.Pair, 1)
+	ch2 <- core.Pair{Src: 1, Dst: 2}
+	close(ch2)
+	if _, err := e.Serve(context.Background(), ch2); err != nil {
+		t.Fatalf("reuse after early cancel: %v", err)
+	}
+}
+
+// TestLiveCrashDetectRepair is the free-running failure cycle end to end:
+// inject a crash, detect it at route time, let the adjuster splice the corpse
+// out, and observe routing recover in a later epoch.
+func TestLiveCrashDetectRepair(t *testing.T) {
+	d := core.New(32, core.Config{A: 4, Seed: 17})
+	e := New(d, Config{BatchSize: 4, TolerateAdjustMiss: true})
+	e.Start()
+	if !e.SubmitCrash(12) {
+		t.Fatal("crash submission shed")
+	}
+	// Barrier: the crash is applied and a snapshot containing the corpse has
+	// published before we probe it.
+	if err := e.MigrateMembership(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := e.Route(3, 12)
+	var dre *skipgraph.DeadRouteError
+	if !errors.As(err, &dre) || dre.Node.ID() != 12 {
+		t.Fatalf("probe of corpse: %v, want DeadRouteError on 12", err)
+	}
+	// Barrier again: the repair task offered by the detection has applied.
+	if err := e.MigrateMembership(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Route(3, 25); err != nil {
+		t.Fatalf("route after repair: %v", err)
+	}
+	if err := e.Stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	st := e.Live()
+	if st.Crashes != 1 || st.DeadDetected < 1 || st.CrashRepairs != 1 {
+		t.Errorf("crashes=%d detected=%d repairs=%d, want 1/≥1/1", st.Crashes, st.DeadDetected, st.CrashRepairs)
+	}
+	if d.NodeByID(12) != nil {
+		t.Error("corpse 12 still present after detect/repair cycle")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("live DSG invalid after crash cycle: %v", err)
+	}
+}

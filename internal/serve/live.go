@@ -23,6 +23,9 @@ type LiveStats struct {
 	Shed               int64 // tasks dropped because the queue was full
 	Failed             int64 // tasks the adjuster consumed but could not apply
 	Joins, Leaves      int64 // membership events applied
+	Crashes            int64 // crash injections applied
+	DeadDetected       int64 // routes that ran into a dead peer
+	CrashRepairs       int64 // dead nodes spliced out by the adjuster
 	SnapshotsPublished int64
 	Pending            int64 // tasks accepted but not yet consumed
 }
@@ -67,16 +70,37 @@ func (e *Engine) Stop() error {
 // Route routes src → dst against the freshest published snapshot and offers
 // the pair to the adjustment queue. Safe for concurrent use. The returned
 // epoch identifies the snapshot the request saw.
+//
+// A route that runs into a crashed peer is the failure detector of the
+// free-running mode: the dead node is reported (DeadDetected), a repair task
+// is offered to the adjuster, and the route retries only if a snapshot newer
+// than the one it failed on has already been published (the repair may be in
+// it). Without a fresher snapshot the DeadRouteError is returned and the
+// caller degrades — the repair lands asynchronously and a later route
+// succeeds. Repair tasks are sheddable like everything else: a dropped one is
+// re-offered by the next detection.
 func (e *Engine) Route(src, dst int64) (skipgraph.RouteResult, int64, error) {
 	snap := e.snap.Load()
-	r, err := snap.Route(src, dst)
-	if err != nil {
+	for {
+		r, err := snap.Route(src, dst)
+		if err == nil {
+			e.routed.Add(1)
+			e.routeDist.Add(int64(r.Distance()))
+			e.offer(task{op: opAdjust, src: src, dst: dst})
+			return r, snap.Epoch, nil
+		}
+		var dre *skipgraph.DeadRouteError
+		if !errors.As(err, &dre) {
+			return r, snap.Epoch, err
+		}
+		e.detected.Add(1)
+		e.offer(task{op: opRepair, src: dre.Node.ID()})
+		if fresh := e.snap.Load(); fresh.Epoch > snap.Epoch {
+			snap = fresh
+			continue
+		}
 		return r, snap.Epoch, err
 	}
-	e.routed.Add(1)
-	e.routeDist.Add(int64(r.Distance()))
-	e.offer(task{op: opAdjust, src: src, dst: dst})
-	return r, snap.Epoch, nil
 }
 
 // SubmitJoin enqueues a node join to be applied by the adjuster (serialized
@@ -89,6 +113,13 @@ func (e *Engine) SubmitJoin(id int64) bool {
 // SubmitLeave enqueues a node departure.
 func (e *Engine) SubmitLeave(id int64) bool {
 	return e.offer(task{op: opLeave, src: id})
+}
+
+// SubmitCrash enqueues a crash injection: the node fails in place, leaving
+// its neighbours' references dangling until a route detects the corpse and a
+// repair splices it out.
+func (e *Engine) SubmitCrash(id int64) bool {
+	return e.offer(task{op: opCrash, src: id})
 }
 
 // offer attempts a non-blocking enqueue; a full or closing queue sheds.
@@ -125,6 +156,9 @@ func (e *Engine) Live() LiveStats {
 		Failed:             e.failed.Load(),
 		Joins:              e.joins.Load(),
 		Leaves:             e.leaves.Load(),
+		Crashes:            e.crashes.Load(),
+		DeadDetected:       e.detected.Load(),
+		CrashRepairs:       e.repairs.Load(),
 		SnapshotsPublished: e.epochs.Load(),
 		Pending:            enq - con,
 	}
@@ -201,12 +235,36 @@ func (e *Engine) applyLive(batch []task) {
 			err = e.dsg.RemoveNode(t.src)
 			if err == nil {
 				e.leaves.Add(1)
+			} else if errors.Is(err, core.ErrCrashedNode) {
+				// The departure raced a crash of the same node (a migration
+				// drain discovering a death): the graceful path is gone, so
+				// repair the corpse instead — the id is spliced out exactly
+				// once either way, and a paired destination-side join can
+				// still recover it elsewhere.
+				if e.dsg.RepairCrashedID(t.src) {
+					e.repairs.Add(1)
+				}
+				e.leaves.Add(1)
+				err = nil
+			}
+		case opCrash:
+			err = e.dsg.Crash(t.src)
+			if err == nil {
+				e.crashes.Add(1)
+			}
+		case opRepair:
+			// Idempotent: a node already repaired (or never crashed) is a
+			// no-op, not an error — many detections may race one failure.
+			if e.dsg.RepairCrashedID(t.src) {
+				e.repairs.Add(1)
 			}
 		}
 		e.consumed.Add(1)
 		if err != nil {
 			e.failed.Add(1)
-			tolerated := t.op == opAdjust && e.cfg.TolerateAdjustMiss && errors.Is(err, core.ErrUnknownNode)
+			tolerated := e.cfg.TolerateAdjustMiss &&
+				((t.op == opAdjust && (errors.Is(err, core.ErrUnknownNode) || errors.Is(err, core.ErrCrashedNode))) ||
+					(t.op == opCrash && errors.Is(err, core.ErrUnknownNode)))
 			if !tolerated {
 				e.errMu.Lock()
 				if e.firstErr == nil {

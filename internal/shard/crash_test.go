@@ -1,0 +1,65 @@
+package shard
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFreeRunningCrashDetectRepair drives the crash cycle through the sharded
+// service: an injected crash lands on the owning shard's engine, a route
+// addressed at the corpse detects it, the shard's adjuster splices it out,
+// and routing between live keys keeps working throughout.
+func TestFreeRunningCrashDetectRepair(t *testing.T) {
+	const n = 64
+	svc, err := New(n, Config{Shards: 4, Seed: 7, BatchSize: 8,
+		RebalanceInterval: time.Hour /* keep the ticker out of the way */})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	if _, err := svc.Crash(99); err == nil {
+		t.Error("crash of out-of-range key accepted")
+	}
+	const victim = 12
+	ok, err := svc.Crash(victim)
+	if err != nil || !ok {
+		t.Fatalf("crash injection: ok=%v err=%v", ok, err)
+	}
+	// Barrier on the owning shard: the crash is applied and published before
+	// we probe the corpse.
+	sh := svc.dir.Load().ShardOf(victim)
+	if err := svc.shards[sh].eng.MigrateMembership(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	// A stale probe at the corpse fails for the client but triggers the
+	// decentralized repair on the owning shard.
+	if _, err := svc.Route(3, victim); err == nil {
+		t.Fatal("probe of corpse succeeded, want detection error")
+	}
+	if err := svc.shards[sh].eng.MigrateMembership(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Live traffic is unaffected after the repair, including keys on the
+	// victim's shard and cross-shard pairs.
+	for _, pair := range [][2]int64{{3, 14}, {3, 40}, {50, 9}} {
+		if _, err := svc.Route(pair[0], pair[1]); err != nil {
+			t.Fatalf("route %d→%d after repair: %v", pair[0], pair[1], err)
+		}
+	}
+	if err := svc.Stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	st := svc.Live()
+	if st.Crashes != 1 || st.DeadDetected < 1 || st.CrashRepairs != 1 {
+		t.Errorf("crashes=%d detected=%d repairs=%d, want 1/≥1/1",
+			st.Crashes, st.DeadDetected, st.CrashRepairs)
+	}
+	if svc.shards[sh].dsg.NodeByID(victim) != nil {
+		t.Error("corpse still present on its shard after repair")
+	}
+	for _, sl := range svc.shards {
+		if err := sl.dsg.Validate(); err != nil {
+			t.Fatalf("shard DSG invalid after crash cycle: %v", err)
+		}
+	}
+}

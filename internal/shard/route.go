@@ -121,11 +121,23 @@ func (s *Service) Route(src, dst int64) (RouteInfo, error) {
 			return info, nil
 		}
 		lastErr = err
-		if !errors.Is(err, skipgraph.ErrUnknownKey) {
+		if !errors.Is(err, skipgraph.ErrUnknownKey) && !errors.Is(err, skipgraph.ErrDeadNode) {
 			break
 		}
 	}
 	return RouteInfo{}, lastErr
+}
+
+// Crash injects a crash failure: the node fails in place on whichever shard
+// the current directory assigns it, leaving dangling neighbour references
+// until routes detect the corpse and the shard's adjuster repairs it. It
+// reports whether the injection was accepted (a full engine queue sheds it).
+func (s *Service) Crash(id int64) (bool, error) {
+	if err := s.checkKey(id); err != nil {
+		return false, err
+	}
+	sh := s.dir.Load().ShardOf(id)
+	return s.shards[sh].eng.SubmitCrash(id), nil
 }
 
 // routeOnce resolves and routes under one directory value.
@@ -205,6 +217,9 @@ type LiveStats struct {
 	Pending               int64
 	SnapshotsPublished    int64
 	Joins, Leaves         int64 // membership ops applied by migrations
+	Crashes               int64 // crash injections applied
+	DeadDetected          int64 // leg routes that ran into a dead peer
+	CrashRepairs          int64 // dead nodes spliced out by shard adjusters
 }
 
 // Live samples the free-running counters.
@@ -230,6 +245,9 @@ func (s *Service) Live() LiveStats {
 		st.SnapshotsPublished += l.SnapshotsPublished
 		st.Joins += l.Joins
 		st.Leaves += l.Leaves
+		st.Crashes += l.Crashes
+		st.DeadDetected += l.DeadDetected
+		st.CrashRepairs += l.CrashRepairs
 	}
 	return st
 }

@@ -407,7 +407,7 @@ func (g *Graph) InsertTracked(key Key, id int64, brancher Brancher) (*Node, Join
 func (g *Graph) localJoin(n *Node, brancher Brancher, eff *JoinEffect) {
 	cand := []*Node{n}
 	for _, nb := range []*Node{n.Prev(0), n.Next(0)} {
-		if nb != nil && !nb.dummy && nb.BitsLen() == 0 {
+		if nb != nil && !nb.dummy && !nb.dead && nb.BitsLen() == 0 {
 			cand = append(cand, nb)
 		}
 	}
@@ -455,7 +455,7 @@ func (g *Graph) localJoin(n *Node, brancher Brancher, eff *JoinEffect) {
 			// Splicing x can strand a real neighbour at the top of its
 			// vector; it must extend next round.
 			for _, nb := range []*Node{x.Prev(bitLevel), x.Next(bitLevel)} {
-				if nb != nil && !nb.dummy && nb.BitsLen() == bitLevel {
+				if nb != nil && !nb.dummy && !nb.dead && nb.BitsLen() == bitLevel {
 					push(nb)
 				}
 			}
@@ -496,18 +496,70 @@ func (g *Graph) spliceAtLevel(x *Node, m int) int {
 	return work
 }
 
-// hasRealNeighbor reports whether x has a real (non-dummy) direct
-// neighbour at level l. At l == x.BitsLen() this is exactly the
+// hasRealNeighbor reports whether x has a live real (non-dummy, non-dead)
+// direct neighbour at level l. At l == x.BitsLen() this is exactly the
 // distinctness requirement: a real node must not share the top of its
-// membership vector with an adjacent real node.
+// membership vector with an adjacent live real node. Dead neighbours count
+// like dummies — they cannot participate in a bit-extension round, and their
+// eventual repair splices them out anyway.
 func hasRealNeighbor(x *Node, l int) bool {
-	if p := x.Prev(l); p != nil && !p.dummy {
+	if p := x.Prev(l); p != nil && !p.dummy && !p.dead {
 		return true
 	}
-	if nx := x.Next(l); nx != nil && !nx.dummy {
+	if nx := x.Next(l); nx != nil && !nx.dummy && !nx.dead {
 		return true
 	}
 	return false
+}
+
+// ExtendDistinctFrom restores vector distinctness after a splice-out brought
+// previously separated nodes together: any candidate real live node adjacent
+// to another real live node at the top of its own vector draws further bits
+// until distinct again, cascading only along adjacency — the same rule
+// localJoin enforces for joins. A graceful leave never needs this (two live
+// real nodes are never adjacent at either one's top level), but removing a
+// DEAD node can: a corpse is exempt from the distinctness invariant, so it
+// may be the only thing separating two live nodes that share a full prefix.
+// Candidates no longer in the graph (or dummy/dead) are skipped. The effect
+// names every touched list and extended node, like InsertTracked.
+func (g *Graph) ExtendDistinctFrom(cands []*Node, brancher Brancher) JoinEffect {
+	var eff JoinEffect
+	queue := append([]*Node(nil), cands...)
+	queued := make(map[*Node]bool, len(cands))
+	for _, x := range cands {
+		queued[x] = true
+	}
+	extended := make(map[*Node]bool)
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		queued[x] = false
+		if x.dummy || x.dead || g.byKey[x.key] != x {
+			continue
+		}
+		for hasRealNeighbor(x, x.BitsLen()) {
+			bitLevel := x.BitsLen() + 1
+			g.dirty()
+			x.SetBit(bitLevel, brancher(x, bitLevel))
+			eff.Work += g.spliceAtLevel(x, bitLevel)
+			eff.Touched = append(eff.Touched, ListRef{Node: x, Level: bitLevel})
+			if !extended[x] {
+				extended[x] = true
+				eff.Extended = append(eff.Extended, x)
+			}
+			// x stays a member of every lower list it shared with its old
+			// neighbours, so THEY may still be stranded — and the splice can
+			// strand x's new-level neighbours too. Queue both sides.
+			for _, nb := range []*Node{x.Prev(bitLevel - 1), x.Next(bitLevel - 1),
+				x.Prev(bitLevel), x.Next(bitLevel)} {
+				if nb != nil && !nb.dummy && !nb.dead && !queued[nb] {
+					queued[nb] = true
+					queue = append(queue, nb)
+				}
+			}
+		}
+	}
+	return eff
 }
 
 // Remove deletes the node with the given key (standard skip-graph leave).

@@ -14,6 +14,7 @@ type Node struct {
 	key   Key
 	id    int64 // non-negative identifier; doubles as the initial group-id
 	dummy bool
+	dead  bool // crashed: present in every list but unresponsive
 
 	bits []byte
 	next []*Node
@@ -45,6 +46,11 @@ func (n *Node) ID() int64 { return n.id }
 
 // IsDummy reports whether the node is a dummy placed for a-balance repair.
 func (n *Node) IsDummy() bool { return n.dummy }
+
+// Dead reports whether the node has crashed (Graph.Crash). A dead node still
+// occupies every list it was in — its neighbours' references dangle at an
+// unresponsive peer until a detection-triggered repair splices it out.
+func (n *Node) Dead() bool { return n.dead }
 
 // Bit returns the membership-vector bit deciding the node's level-i list
 // (i ≥ 1). It panics if the bit has not been assigned.
@@ -153,6 +159,9 @@ func (n *Node) String() string {
 	tag := ""
 	if n.dummy {
 		tag = "~"
+	}
+	if n.dead {
+		tag += "!"
 	}
 	return fmt.Sprintf("%s%v[%s]", tag, n.key, n.MembershipVector())
 }

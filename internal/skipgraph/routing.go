@@ -41,9 +41,20 @@ func (r RouteResult) Hops() int {
 // Route performs the standard skip-graph routing from src to dst: starting
 // at the source's top level, move toward the destination while the next
 // node does not overshoot, otherwise drop one level (Appendix B).
+//
+// Crashed nodes fail the route at first contact: a dead endpoint, or a hop
+// onto a dead intermediate, returns a DeadRouteError naming the peer (the
+// failure detector). Key comparisons against a dead neighbour are free —
+// neighbour tables cache keys — so only an actual hop detects.
 func (g *Graph) Route(src, dst *Node) (RouteResult, error) {
 	if src == nil || dst == nil {
 		return RouteResult{}, fmt.Errorf("skipgraph: route endpoints must be non-nil")
+	}
+	if src.dead {
+		return RouteResult{}, &DeadRouteError{Node: src}
+	}
+	if dst.dead {
+		return RouteResult{}, &DeadRouteError{Node: dst}
 	}
 	res := RouteResult{Path: []*Node{src}}
 	if src == dst {
@@ -57,6 +68,9 @@ func (g *Graph) Route(src, dst *Node) (RouteResult, error) {
 		if right {
 			next = cur.Next(level)
 			if next != nil && !dst.key.Less(next.key) {
+				if next.dead {
+					return res, &DeadRouteError{Node: next}
+				}
 				cur = next
 				res.Path = append(res.Path, cur)
 				// Routing may ascend back to the new node's top level; the
@@ -66,6 +80,9 @@ func (g *Graph) Route(src, dst *Node) (RouteResult, error) {
 		} else {
 			next = cur.Prev(level)
 			if next != nil && !next.key.Less(dst.key) {
+				if next.dead {
+					return res, &DeadRouteError{Node: next}
+				}
 				cur = next
 				res.Path = append(res.Path, cur)
 				continue

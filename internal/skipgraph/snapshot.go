@@ -39,6 +39,7 @@ func (g *Graph) Clone() *Graph {
 			key:   n.key,
 			id:    n.id,
 			dummy: n.dummy,
+			dead:  n.dead,
 			bits:  append([]byte(nil), n.bits...),
 			next:  make([]*Node, len(n.next)),
 			prev:  make([]*Node, len(n.prev)),

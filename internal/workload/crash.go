@@ -1,0 +1,227 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// This file holds the crash-failure trace generators. Unlike the graceful
+// churn shapes in churn.go, a crash (OpCrash) removes a node without a
+// leave event — the serving side discovers it only by contacting the dead
+// peer. Every generator keeps a bounded window of recently crashed ids and,
+// with probability Stale, redirects a route at one of them: the stale-view
+// probes whose failures the availability experiments (E20) measure. Each
+// crash is paired with a fresh recovery join, so the network size stays
+// stable and the failure RATE — not attrition — is the swept variable.
+
+// staleWindow bounds the recently-crashed id window a stale route may target.
+const staleWindow = 16
+
+// staleRoute maps a base request onto the live membership and then, with
+// probability stale, retargets the destination at a recently crashed id — a
+// client routing on a stale view. The source stays live (a dead node issues
+// no requests). Returns false when the mapped endpoints collide.
+func (ms *membership) staleRoute(rng *rand.Rand, r Request, stale float64) (Event, bool) {
+	ev, ok := ms.route(r)
+	if !ok {
+		return ev, false
+	}
+	if stale > 0 && len(ms.recentCrashed) > 0 && rng.Float64() < stale {
+		ev.Dst = ms.recentCrashed[rng.Intn(len(ms.recentCrashed))]
+	}
+	return ev, true
+}
+
+// checkStale validates a Stale knob.
+func checkStale(stale float64) error {
+	if stale < 0 || stale > 1 || math.IsNaN(stale) {
+		return fmt.Errorf("workload: stale-route fraction %v out of range [0, 1]", stale)
+	}
+	return nil
+}
+
+// IndependentCrashes layers memoryless crash failures over any request
+// generator: before each route, a Poisson(Rate)-distributed number of
+// uniformly random live nodes crash, each immediately followed by a fresh
+// recovery join (stable network size, the steady-state failure model of DHT
+// availability studies). Stale is the fraction of routes redirected at a
+// recently crashed id.
+type IndependentCrashes struct {
+	Seed  int64
+	Rate  float64   // expected crashes per route, ≥ 0
+	Stale float64   // fraction of routes targeting a recently crashed id, [0, 1]
+	Base  Generator // route traffic; defaults to Uniform{Seed}
+}
+
+// Name implements TraceGenerator.
+func (g IndependentCrashes) Name() string {
+	return fmt.Sprintf("independent-crashes(rate=%.2f,stale=%.2f,%s)", g.Rate, g.Stale, g.base().Name())
+}
+
+func (g IndependentCrashes) base() Generator {
+	if g.Base == nil {
+		return Uniform{Seed: g.Seed}
+	}
+	return g.Base
+}
+
+// Trace implements TraceGenerator.
+func (g IndependentCrashes) Trace(n, m int) (Trace, error) {
+	if err := ValidateArgs(n, m); err != nil {
+		return nil, err
+	}
+	if g.Rate < 0 || g.Rate > 500 || math.IsNaN(g.Rate) {
+		return nil, fmt.Errorf("workload: independent crash rate %v out of range [0, 500]", g.Rate)
+	}
+	if err := checkStale(g.Stale); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(g.Seed + 404))
+	reqs := g.base().Generate(n, m)
+	ms := newMembership(n)
+	tr := make(Trace, 0, m+2*int(g.Rate*float64(m))+1)
+	routes := 0
+	for _, r := range reqs {
+		for k := poisson(rng, g.Rate); k > 0; k-- {
+			if ms.size() <= minLive {
+				break
+			}
+			tr = append(tr, ms.crashAt(rng.Intn(ms.size())))
+			tr = append(tr, ms.join()) // recovery capacity arrives
+		}
+		if ev, ok := ms.staleRoute(rng, r, g.Stale); ok {
+			tr = append(tr, ev)
+			routes++
+		}
+	}
+	return padRoutes(tr, ms, rng, m-routes), nil
+}
+
+// CorrelatedCrashes models correlated infrastructure failures (a rack, an
+// AS, a power domain): every Period routes, Burst key-adjacent live nodes
+// crash together, followed by Burst recovery joins. The same shape as
+// CorrelatedDepartures, but without the leave-side repair the graceful path
+// gets for free — whole key regions go dark at once and must be discovered.
+type CorrelatedCrashes struct {
+	Seed   int64
+	Period int       // routes between failure events, ≥ 1
+	Burst  int       // adjacent nodes per failure, ≥ 1
+	Stale  float64   // fraction of routes targeting a recently crashed id
+	Base   Generator // route traffic; defaults to Uniform{Seed}
+}
+
+// Name implements TraceGenerator.
+func (g CorrelatedCrashes) Name() string {
+	return fmt.Sprintf("correlated-crashes(period=%d,burst=%d,stale=%.2f,%s)",
+		g.Period, g.Burst, g.Stale, g.base().Name())
+}
+
+func (g CorrelatedCrashes) base() Generator {
+	if g.Base == nil {
+		return Uniform{Seed: g.Seed}
+	}
+	return g.Base
+}
+
+// Trace implements TraceGenerator.
+func (g CorrelatedCrashes) Trace(n, m int) (Trace, error) {
+	if err := ValidateArgs(n, m); err != nil {
+		return nil, err
+	}
+	if g.Period < 1 || g.Burst < 1 {
+		return nil, fmt.Errorf("workload: correlated crashes need period ≥ 1 and burst ≥ 1, got (%d, %d)", g.Period, g.Burst)
+	}
+	if err := checkStale(g.Stale); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(g.Seed + 505))
+	reqs := g.base().Generate(n, m)
+	ms := newMembership(n)
+	tr := make(Trace, 0, m+2*g.Burst*(m/g.Period+1))
+	routes := 0
+	for i, r := range reqs {
+		if i > 0 && i%g.Period == 0 {
+			burst := g.Burst
+			if max := ms.size() - minLive; burst > max {
+				burst = max
+			}
+			if burst > 0 {
+				start := rng.Intn(ms.size() - burst + 1)
+				for b := 0; b < burst; b++ {
+					tr = append(tr, ms.crashAt(start)) // positions shift left
+				}
+				for b := 0; b < burst; b++ {
+					tr = append(tr, ms.join())
+				}
+			}
+		}
+		if ev, ok := ms.staleRoute(rng, r, g.Stale); ok {
+			tr = append(tr, ev)
+			routes++
+		}
+	}
+	return padRoutes(tr, ms, rng, m-routes), nil
+}
+
+// FlashFailure models one mass outage: halfway through the trace, a Frac
+// fraction of the live population crashes in a single burst (uniformly
+// random victims), followed by the same number of recovery joins. Before
+// and after the event the base generator drives pure route traffic, so the
+// trace isolates the detection-and-repair transient of a single large
+// failure.
+type FlashFailure struct {
+	Seed  int64
+	Frac  float64   // fraction of live nodes crashing at the midpoint, (0, 1]
+	Stale float64   // fraction of routes targeting a recently crashed id
+	Base  Generator // route traffic; defaults to Uniform{Seed}
+}
+
+// Name implements TraceGenerator.
+func (g FlashFailure) Name() string {
+	return fmt.Sprintf("flash-failure(frac=%.2f,stale=%.2f,%s)", g.Frac, g.Stale, g.base().Name())
+}
+
+func (g FlashFailure) base() Generator {
+	if g.Base == nil {
+		return Uniform{Seed: g.Seed}
+	}
+	return g.Base
+}
+
+// Trace implements TraceGenerator.
+func (g FlashFailure) Trace(n, m int) (Trace, error) {
+	if err := ValidateArgs(n, m); err != nil {
+		return nil, err
+	}
+	if g.Frac <= 0 || g.Frac > 1 || math.IsNaN(g.Frac) {
+		return nil, fmt.Errorf("workload: flash failure fraction %v out of range (0, 1]", g.Frac)
+	}
+	if err := checkStale(g.Stale); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(g.Seed + 606))
+	reqs := g.base().Generate(n, m)
+	ms := newMembership(n)
+	tr := make(Trace, 0, m+2*n)
+	routes := 0
+	for i, r := range reqs {
+		if i == m/2 {
+			burst := int(math.Ceil(g.Frac * float64(ms.size())))
+			if max := ms.size() - minLive; burst > max {
+				burst = max
+			}
+			for b := 0; b < burst; b++ {
+				tr = append(tr, ms.crashAt(rng.Intn(ms.size())))
+			}
+			for b := 0; b < burst; b++ {
+				tr = append(tr, ms.join())
+			}
+		}
+		if ev, ok := ms.staleRoute(rng, r, g.Stale); ok {
+			tr = append(tr, ev)
+			routes++
+		}
+	}
+	return padRoutes(tr, ms, rng, m-routes), nil
+}

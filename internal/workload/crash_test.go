@@ -1,0 +1,284 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func allCrashGenerators() []TraceGenerator {
+	return []TraceGenerator{
+		IndependentCrashes{Seed: 1, Rate: 0.1, Stale: 0.3},
+		IndependentCrashes{Seed: 2, Rate: 0.5, Stale: 0, Base: Zipf{Seed: 2, S: 1.2}},
+		CorrelatedCrashes{Seed: 3, Period: 20, Burst: 3, Stale: 0.2},
+		FlashFailure{Seed: 4, Frac: 0.25, Stale: 0.5},
+	}
+}
+
+// TestCrashTracesAreValid: every crash generator produces a trace that passes
+// the three-state validator, carries exactly m routes, and actually crashes
+// someone.
+func TestCrashTracesAreValid(t *testing.T) {
+	const n, m = 32, 400
+	for _, g := range allCrashGenerators() {
+		tr, err := g.Trace(n, m)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		if err := tr.Validate(n); err != nil {
+			t.Errorf("%s: invalid trace: %v", g.Name(), err)
+		}
+		routes, joins, _ := tr.Counts()
+		if routes != m {
+			t.Errorf("%s: %d routes, want %d", g.Name(), routes, m)
+		}
+		crashes := tr.Crashes()
+		if crashes == 0 {
+			t.Errorf("%s: no crash events", g.Name())
+		}
+		// Every crash is paired with a recovery join: stable network size.
+		if joins != crashes {
+			t.Errorf("%s: %d joins for %d crashes, want equal", g.Name(), joins, crashes)
+		}
+	}
+}
+
+// TestCrashGeneratorsDeterministic: same seed, same trace.
+func TestCrashGeneratorsDeterministic(t *testing.T) {
+	for _, g := range allCrashGenerators() {
+		a, err := g.Trace(24, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := g.Trace(24, 200)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: trace differs across runs with the same seed", g.Name())
+		}
+	}
+}
+
+// TestIndependentCrashesVolume: the crash count concentrates around the
+// Poisson mean rate·m.
+func TestIndependentCrashesVolume(t *testing.T) {
+	const n, m, rate = 64, 2000, 0.1
+	tr, err := IndependentCrashes{Seed: 5, Rate: rate, Stale: 0.3}.Trace(n, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := float64(tr.Crashes()), rate*m
+	if got < want/2 || got > want*2 {
+		t.Errorf("%v crashes for Poisson mean %v", got, want)
+	}
+}
+
+// TestCorrelatedCrashesAdjacent verifies each failure event kills id-adjacent
+// nodes: within one crash burst, the dead ids form a contiguous run of the
+// pre-burst live set (a rack going dark, not scattered attrition).
+func TestCorrelatedCrashesAdjacent(t *testing.T) {
+	g := CorrelatedCrashes{Seed: 11, Period: 15, Burst: 4}
+	const n, m = 30, 300
+	tr, err := g.Trace(n, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := map[int64]bool{}
+	for i := 0; i < n; i++ {
+		live[int64(i)] = true
+	}
+	var burst []int64
+	checkBurst := func() {
+		if len(burst) < 2 {
+			return
+		}
+		min, max := burst[0], burst[0]
+		dead := map[int64]bool{}
+		for _, id := range burst {
+			if id < min {
+				min = id
+			}
+			if id > max {
+				max = id
+			}
+			dead[id] = true
+		}
+		for id := range live {
+			if id > min && id < max && !dead[id] {
+				t.Errorf("burst %v skipped still-live id %d", burst, id)
+			}
+		}
+	}
+	for _, e := range tr {
+		switch e.Op {
+		case OpCrash:
+			burst = append(burst, e.Node)
+		default:
+			checkBurst()
+			for _, id := range burst {
+				delete(live, id)
+			}
+			burst = burst[:0]
+			if e.Op == OpJoin {
+				live[e.Node] = true
+			}
+		}
+	}
+	if tr.Crashes() == 0 {
+		t.Error("no crash bursts generated")
+	}
+}
+
+// TestFlashFailureShape: exactly one burst, at the route midpoint, of size
+// ceil(frac·live).
+func TestFlashFailureShape(t *testing.T) {
+	const n, m = 40, 200
+	tr, err := FlashFailure{Seed: 7, Frac: 0.25}.Trace(n, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBurst := int(math.Ceil(0.25 * n))
+	if got := tr.Crashes(); got != wantBurst {
+		t.Errorf("%d crashes, want one burst of %d", got, wantBurst)
+	}
+	routesBefore := 0
+	firstCrash := -1
+	for i, e := range tr {
+		if e.Op == OpCrash {
+			firstCrash = i
+			break
+		}
+		if e.Op == OpRoute {
+			routesBefore++
+		}
+	}
+	if firstCrash < 0 {
+		t.Fatal("no crash event")
+	}
+	if routesBefore < m/2-m/10 || routesBefore > m/2+m/10 {
+		t.Errorf("burst after %d routes, want about %d", routesBefore, m/2)
+	}
+	// The burst is contiguous: crashes then recovery joins, no routes inside.
+	for i := firstCrash; i < firstCrash+wantBurst; i++ {
+		if tr[i].Op != OpCrash {
+			t.Fatalf("event %d inside burst is %s, want crash", i, tr[i].Op)
+		}
+	}
+	for i := firstCrash + wantBurst; i < firstCrash+2*wantBurst; i++ {
+		if tr[i].Op != OpJoin {
+			t.Fatalf("event %d after burst is %s, want recovery join", i, tr[i].Op)
+		}
+	}
+}
+
+// TestStaleRouteFraction: with Stale=0.5 a substantial fraction of
+// post-crash routes target a recently crashed id, and with Stale=0 none do.
+// Crashed targets are tracked by replaying the trace's membership.
+func TestStaleRouteFraction(t *testing.T) {
+	const n, m = 32, 1000
+	count := func(stale float64) (staleRoutes, routes int) {
+		tr, err := IndependentCrashes{Seed: 9, Rate: 0.05, Stale: stale}.Trace(n, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crashed := map[int64]bool{}
+		sawCrash := false
+		for _, e := range tr {
+			switch e.Op {
+			case OpCrash:
+				crashed[e.Node] = true
+				sawCrash = true
+			case OpRoute:
+				if sawCrash {
+					routes++
+					if crashed[e.Dst] {
+						staleRoutes++
+					}
+				}
+			}
+		}
+		return staleRoutes, routes
+	}
+	s, r := count(0.5)
+	if frac := float64(s) / float64(r); frac < 0.25 || frac > 0.75 {
+		t.Errorf("stale fraction %v (%d/%d), want near 0.5", frac, s, r)
+	}
+	if s, _ := count(0); s != 0 {
+		t.Errorf("%d stale routes with Stale=0, want none", s)
+	}
+}
+
+// TestCrashGeneratorErrors exercises every knob-validation path.
+func TestCrashGeneratorErrors(t *testing.T) {
+	for _, g := range allCrashGenerators() {
+		if _, err := g.Trace(1, 100); err == nil {
+			t.Errorf("%s: no error for n=1", g.Name())
+		}
+		if _, err := g.Trace(10, -1); err == nil {
+			t.Errorf("%s: no error for m=-1", g.Name())
+		}
+	}
+	bad := []TraceGenerator{
+		IndependentCrashes{Rate: -1},
+		IndependentCrashes{Rate: math.NaN()},
+		IndependentCrashes{Rate: 0.1, Stale: 1.5},
+		IndependentCrashes{Rate: 0.1, Stale: math.NaN()},
+		CorrelatedCrashes{Period: 0, Burst: 1},
+		CorrelatedCrashes{Period: 5, Burst: 0},
+		CorrelatedCrashes{Period: 5, Burst: 1, Stale: -0.1},
+		FlashFailure{Frac: 0},
+		FlashFailure{Frac: 1.5},
+		FlashFailure{Frac: math.NaN()},
+		FlashFailure{Frac: 0.5, Stale: 2},
+	}
+	for _, g := range bad {
+		if _, err := g.Trace(10, 10); err == nil {
+			t.Errorf("%s: bad knobs accepted", g.Name())
+		}
+	}
+}
+
+// TestCrashTraceValidateRejections covers the validator's crash-specific
+// failure modes, which the fuzz harness and trace runner depend on.
+func TestCrashTraceValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		tr   Trace
+		want string
+	}{
+		{"crash absent", 3, Trace{{Op: OpCrash, Node: 99}}, "crashes an absent node"},
+		{"double crash", 3, Trace{
+			{Op: OpJoin, Node: 9},
+			{Op: OpCrash, Node: 2},
+			{Op: OpJoin, Node: 10},
+			{Op: OpCrash, Node: 2}}, "already-crashed"},
+		{"route from corpse", 3, Trace{
+			{Op: OpJoin, Node: 9},
+			{Op: OpCrash, Node: 1},
+			{Op: OpRoute, Src: 1, Dst: 0}}, "routes from a non-live node"},
+		{"crashed id reused", 3, Trace{
+			{Op: OpJoin, Node: 9},
+			{Op: OpCrash, Node: 1},
+			{Op: OpJoin, Node: 1}}, "reuses a crashed id"},
+		{"leave of corpse", 3, Trace{
+			{Op: OpJoin, Node: 9},
+			{Op: OpCrash, Node: 1},
+			{Op: OpLeave, Node: 1}}, "leaves a dead node"},
+		{"crash below minimum", 2, Trace{{Op: OpCrash, Node: 0}}, "below 2"},
+	}
+	for _, c := range cases {
+		err := c.tr.Validate(c.n)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want contains %q", c.name, err, c.want)
+		}
+	}
+	// The legal stale probe: a route TO a crashed id from a live node.
+	ok := Trace{
+		{Op: OpJoin, Node: 9},
+		{Op: OpCrash, Node: 1},
+		{Op: OpRoute, Src: 0, Dst: 1},
+	}
+	if err := ok.Validate(3); err != nil {
+		t.Errorf("stale probe should validate: %v", err)
+	}
+}

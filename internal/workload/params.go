@@ -59,6 +59,27 @@ func (g CorrelatedDepartures) Params() map[string]float64 {
 	return p
 }
 
+// Params implements Parameterized.
+func (g IndependentCrashes) Params() map[string]float64 {
+	p := map[string]float64{"rate": g.Rate, "stale": g.Stale}
+	mergeBaseParams(p, g.base())
+	return p
+}
+
+// Params implements Parameterized.
+func (g CorrelatedCrashes) Params() map[string]float64 {
+	p := map[string]float64{"period": float64(g.Period), "burst": float64(g.Burst), "stale": g.Stale}
+	mergeBaseParams(p, g.base())
+	return p
+}
+
+// Params implements Parameterized.
+func (g FlashFailure) Params() map[string]float64 {
+	p := map[string]float64{"frac": g.Frac, "stale": g.Stale}
+	mergeBaseParams(p, g.base())
+	return p
+}
+
 // Params implements Parameterized (delegates to the base generator).
 func (g NoChurn) Params() map[string]float64 {
 	p := map[string]float64{}

@@ -6,12 +6,18 @@ import "fmt"
 type Op int
 
 const (
-	// OpRoute is a communication request between two live nodes.
+	// OpRoute is a communication request between two live nodes — or, under
+	// crash failures, from a live node toward a crashed one (a stale client
+	// view probing an unavailable peer).
 	OpRoute Op = iota
 	// OpJoin adds a fresh node to the network.
 	OpJoin
-	// OpLeave removes a live node from the network.
+	// OpLeave removes a live node from the network (graceful departure).
 	OpLeave
+	// OpCrash fails a live node without a goodbye: no leave-side repair
+	// runs, and the network discovers the failure only when a route
+	// contacts the dead peer. Crashed ids are never reused.
+	OpCrash
 )
 
 // String implements fmt.Stringer.
@@ -23,6 +29,8 @@ func (o Op) String() string {
 		return "join"
 	case OpLeave:
 		return "leave"
+	case OpCrash:
+		return "crash"
 	default:
 		return fmt.Sprintf("op(%d)", int(o))
 	}
@@ -66,23 +74,43 @@ func (tr Trace) Counts() (routes, joins, leaves int) {
 	return routes, joins, leaves
 }
 
-// Validate replays the trace against a membership model and returns the
-// first inconsistency: a route touching a dead or unknown id, a join of an
-// already-live id, a leave of a dead id, or a leave that would drop the
-// membership below two nodes (the minimum for routing). The initial
-// membership is ids 0..n-1.
+// Crashes returns the number of crash events.
+func (tr Trace) Crashes() int {
+	c := 0
+	for _, e := range tr {
+		if e.Op == OpCrash {
+			c++
+		}
+	}
+	return c
+}
+
+// Validate replays the trace against a three-state membership model (live,
+// departed, crashed) and returns the first inconsistency: a route from
+// anything but a live node, a route to an id that never was or gracefully
+// left, a join of a live or crashed id (crashed ids are never reused), a
+// leave of a non-live id, a crash of a non-live id (absent, departed, or
+// already crashed), or a membership change that would drop the live
+// population below two nodes (the minimum for routing). A route TO a crashed
+// id is legal — it models a stale client probing an unavailable peer, the
+// availability measure of the failure experiments. The initial membership is
+// ids 0..n-1.
 func (tr Trace) Validate(n int) error {
 	if n < 2 {
 		return fmt.Errorf("workload: trace needs at least 2 initial nodes, got %d", n)
 	}
 	live := make(map[int64]bool, n)
+	crashed := make(map[int64]bool)
 	for i := 0; i < n; i++ {
 		live[int64(i)] = true
 	}
 	for i, e := range tr {
 		switch e.Op {
 		case OpRoute:
-			if !live[e.Src] || !live[e.Dst] {
+			if !live[e.Src] {
+				return fmt.Errorf("workload: event %d %s routes from a non-live node", i, e)
+			}
+			if !live[e.Dst] && !crashed[e.Dst] {
 				return fmt.Errorf("workload: event %d %s references a dead node", i, e)
 			}
 			if e.Src == e.Dst {
@@ -91,6 +119,9 @@ func (tr Trace) Validate(n int) error {
 		case OpJoin:
 			if live[e.Node] {
 				return fmt.Errorf("workload: event %d %s joins a live node", i, e)
+			}
+			if crashed[e.Node] {
+				return fmt.Errorf("workload: event %d %s reuses a crashed id", i, e)
 			}
 			live[e.Node] = true
 		case OpLeave:
@@ -101,6 +132,18 @@ func (tr Trace) Validate(n int) error {
 				return fmt.Errorf("workload: event %d %s would drop membership below 2", i, e)
 			}
 			delete(live, e.Node)
+		case OpCrash:
+			if crashed[e.Node] {
+				return fmt.Errorf("workload: event %d %s crashes an already-crashed node", i, e)
+			}
+			if !live[e.Node] {
+				return fmt.Errorf("workload: event %d %s crashes an absent node", i, e)
+			}
+			if len(live) <= 2 {
+				return fmt.Errorf("workload: event %d %s would drop membership below 2", i, e)
+			}
+			delete(live, e.Node)
+			crashed[e.Node] = true
 		default:
 			return fmt.Errorf("workload: event %d has unknown op %d", i, int(e.Op))
 		}
@@ -154,6 +197,9 @@ func (g NoChurn) Trace(n, m int) (Trace, error) {
 type membership struct {
 	live   []int64 // sorted ascending
 	nextID int64   // fresh id for the next join
+	// recentCrashed is the window of recently crashed ids a stale route may
+	// still target (bounded to staleWindow entries, oldest dropped first).
+	recentCrashed []int64
 }
 
 func newMembership(n int) *membership {
@@ -181,6 +227,19 @@ func (ms *membership) leaveAt(pos int) Event {
 	id := ms.live[pos]
 	ms.live = append(ms.live[:pos], ms.live[pos+1:]...)
 	return Event{Op: OpLeave, Node: id}
+}
+
+// crashAt fails the live node at the given position (id order) and returns
+// the crash event. The id moves to the recently-crashed window that stale
+// routes may still target.
+func (ms *membership) crashAt(pos int) Event {
+	id := ms.live[pos]
+	ms.live = append(ms.live[:pos], ms.live[pos+1:]...)
+	ms.recentCrashed = append(ms.recentCrashed, id)
+	if len(ms.recentCrashed) > staleWindow {
+		ms.recentCrashed = ms.recentCrashed[len(ms.recentCrashed)-staleWindow:]
+	}
+	return Event{Op: OpCrash, Node: id}
 }
 
 // route maps a base request over the fixed index space [0, n) onto the
