@@ -1,18 +1,25 @@
 // Command benchdiff is the CI perf-regression gate: it parses two `go test
 // -bench` output files (typically the PR head and its merge-base, each run
-// with -count N), aggregates each benchmark's ns/op as the minimum across
+// with -count N), aggregates each benchmark's metrics as the minimum across
 // counts (the least-noisy point estimate on a shared runner), and fails when
-// any benchmark matching -match regressed by more than -threshold.
+// any benchmark matching -match regressed its ns/op by more than -threshold.
+// Benchmarks additionally matching -memmatch also gate their B/op and
+// allocs/op (requires -benchmem on both runs) — allocation-shaped wins, like
+// copy-on-write snapshot publication, regress silently under a pure ns/op
+// gate on a noisy runner.
 //
 // Benchmarks present only in the new file are reported as new and never
 // fail the gate (a PR may introduce the benchmark it is gated on);
 // benchmarks that disappeared from the new file DO fail it, so a regression
-// cannot hide behind a rename. benchstat remains the human-readable
-// companion — benchdiff only decides pass/fail.
+// cannot hide behind a rename. The same applies per metric: a mem-gated
+// benchmark whose baseline lacks B/op (no -benchmem) is reported, not
+// failed, but one that LOST its memory columns fails. benchstat remains the
+// human-readable companion — benchdiff only decides pass/fail.
 //
 // Usage:
 //
-//	benchdiff -old base.txt -new head.txt -match 'E10|E13|E16|E17' -threshold 0.25
+//	benchdiff -old base.txt -new head.txt -match 'E10|E13|E16|E17' \
+//	  -memmatch 'SnapshotPublish' -threshold 0.25
 package main
 
 import (
@@ -32,7 +39,8 @@ func main() {
 		oldPath   = flag.String("old", "", "baseline `go test -bench` output (merge-base)")
 		newPath   = flag.String("new", "", "candidate `go test -bench` output (PR head)")
 		match     = flag.String("match", "", "regexp selecting the gated benchmarks (empty = all)")
-		threshold = flag.Float64("threshold", 0.25, "maximum tolerated ns/op regression (0.25 = +25%)")
+		memMatch  = flag.String("memmatch", "", "regexp selecting benchmarks whose B/op and allocs/op are also gated (empty = none)")
+		threshold = flag.Float64("threshold", 0.25, "maximum tolerated regression per gated metric (0.25 = +25%)")
 	)
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
@@ -41,6 +49,12 @@ func main() {
 	re, err := regexp.Compile(*match)
 	if err != nil {
 		fail("bad -match regexp: %v", err)
+	}
+	var memRe *regexp.Regexp
+	if *memMatch != "" {
+		if memRe, err = regexp.Compile(*memMatch); err != nil {
+			fail("bad -memmatch regexp: %v", err)
+		}
 	}
 	oldRes, err := parseFile(*oldPath)
 	if err != nil {
@@ -51,12 +65,12 @@ func main() {
 		fail("%v", err)
 	}
 
-	verdicts, failed := compare(oldRes, newRes, re, *threshold)
+	verdicts, failed := compare(oldRes, newRes, re, memRe, *threshold)
 	for _, v := range verdicts {
 		fmt.Println(v)
 	}
 	if failed > 0 {
-		fail("%d gated benchmark(s) regressed by more than %.0f%%", failed, *threshold*100)
+		fail("%d gated metric(s) regressed by more than %.0f%%", failed, *threshold*100)
 	}
 	fmt.Printf("benchdiff: no gated benchmark regressed by more than %.0f%%\n", *threshold*100)
 }
@@ -66,49 +80,73 @@ func fail(format string, args ...interface{}) {
 	os.Exit(1)
 }
 
+// gatedUnits are the metrics benchdiff understands, in report order. ns/op
+// is gated for every -match benchmark; the memory pair only for -memmatch.
+var gatedUnits = []string{"ns/op", "B/op", "allocs/op"}
+
 // procsSuffix matches the trailing "-<GOMAXPROCS>" go test appends to
 // benchmark names (absent when GOMAXPROCS is 1), stripped so runs from
 // machines reporting different suffixes still line up.
 var procsSuffix = regexp.MustCompile(`-\d+$`)
 
-// parseLine extracts (name, ns/op) from one benchmark result line, e.g.
+// parseLine extracts the benchmark name and every recognized metric from one
+// result line, e.g.
 //
 //	BenchmarkE10_RouteOnly-4   123456   9876 ns/op   120 B/op  3 allocs/op
 //
-// ok reports whether the line was a benchmark result carrying ns/op.
-func parseLine(line string) (name string, nsPerOp float64, ok bool) {
+// ok reports whether the line was a benchmark result carrying ns/op (lines
+// without ns/op are not results, whatever custom units they carry).
+func parseLine(line string) (name string, vals map[string]float64, ok bool) {
 	if !strings.HasPrefix(line, "Benchmark") {
-		return "", 0, false
+		return "", nil, false
 	}
 	f := strings.Fields(line)
 	if len(f) < 4 {
-		return "", 0, false
+		return "", nil, false
 	}
 	for i := 3; i < len(f); i++ {
-		if f[i] == "ns/op" {
+		switch f[i] {
+		case "ns/op", "B/op", "allocs/op":
 			v, err := strconv.ParseFloat(f[i-1], 64)
 			if err != nil {
-				return "", 0, false
+				continue
 			}
-			return procsSuffix.ReplaceAllString(f[0], ""), v, true
+			if vals == nil {
+				vals = make(map[string]float64, len(gatedUnits))
+			}
+			vals[f[i]] = v
 		}
 	}
-	return "", 0, false
+	if _, hasNs := vals["ns/op"]; !hasNs {
+		return "", nil, false
+	}
+	return procsSuffix.ReplaceAllString(f[0], ""), vals, true
 }
 
-// parse collects every benchmark's ns/op samples (one per -count).
-func parse(r io.Reader) (map[string][]float64, error) {
-	out := make(map[string][]float64)
+// samples holds every benchmark's per-metric values (one per -count).
+type samples map[string]map[string][]float64
+
+func parse(r io.Reader) (samples, error) {
+	out := make(samples)
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
-		if name, v, ok := parseLine(sc.Text()); ok {
-			out[name] = append(out[name], v)
+		name, vals, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		m := out[name]
+		if m == nil {
+			m = make(map[string][]float64, len(gatedUnits))
+			out[name] = m
+		}
+		for unit, v := range vals {
+			m[unit] = append(m[unit], v)
 		}
 	}
 	return out, sc.Err()
 }
 
-func parseFile(path string) (map[string][]float64, error) {
+func parseFile(path string) (samples, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -134,10 +172,10 @@ func minOf(vs []float64) float64 {
 	return m
 }
 
-// compare produces one verdict line per gated benchmark and the number of
-// failures (regressions beyond the threshold, plus gated benchmarks missing
-// from the new run).
-func compare(oldRes, newRes map[string][]float64, re *regexp.Regexp, threshold float64) (verdicts []string, failed int) {
+// compare produces verdict lines for every gated benchmark/metric and the
+// number of failures: regressions beyond the threshold, gated benchmarks
+// missing from the new run, and mem-gated metrics that disappeared.
+func compare(oldRes, newRes samples, re, memRe *regexp.Regexp, threshold float64) (verdicts []string, failed int) {
 	names := make(map[string]bool, len(oldRes)+len(newRes))
 	for n := range oldRes {
 		names[n] = true
@@ -147,30 +185,60 @@ func compare(oldRes, newRes map[string][]float64, re *regexp.Regexp, threshold f
 	}
 	sorted := make([]string, 0, len(names))
 	for n := range names {
-		if re.MatchString(n) {
+		if re.MatchString(n) || (memRe != nil && memRe.MatchString(n)) {
 			sorted = append(sorted, n)
 		}
 	}
 	sort.Strings(sorted)
 	for _, n := range sorted {
-		oldVs, inOld := oldRes[n]
-		newVs, inNew := newRes[n]
+		oldUnits, inOld := oldRes[n]
+		newUnits, inNew := newRes[n]
 		switch {
 		case !inOld:
-			verdicts = append(verdicts, fmt.Sprintf("NEW   %-50s %12.1f ns/op (no baseline)", n, minOf(newVs)))
+			verdicts = append(verdicts, fmt.Sprintf("NEW   %-50s %12.1f ns/op (no baseline)", n, minOf(newUnits["ns/op"])))
+			continue
 		case !inNew:
 			verdicts = append(verdicts, fmt.Sprintf("GONE  %-50s benchmark disappeared from the new run", n))
 			failed++
-		default:
-			o, nw := minOf(oldVs), minOf(newVs)
-			delta := nw/o - 1
-			status := "OK   "
-			if delta > threshold {
-				status = "FAIL "
+			continue
+		}
+		units := []string{"ns/op"}
+		if memRe != nil && memRe.MatchString(n) {
+			units = gatedUnits
+		}
+		for _, unit := range units {
+			oldVs, uOld := oldUnits[unit]
+			newVs, uNew := newUnits[unit]
+			switch {
+			case !uOld && !uNew:
+				continue // neither run reported it (e.g. no -benchmem anywhere)
+			case !uOld:
+				verdicts = append(verdicts, fmt.Sprintf("NEW   %-50s %12.1f %s (no baseline)", n, minOf(newVs), unit))
+				continue
+			case !uNew:
+				verdicts = append(verdicts, fmt.Sprintf("GONE  %-50s %s disappeared from the new run", n, unit))
 				failed++
+				continue
 			}
-			verdicts = append(verdicts, fmt.Sprintf("%s %-50s %12.1f → %12.1f ns/op  %+6.1f%%",
-				status, n, o, nw, delta*100))
+			o, nw := minOf(oldVs), minOf(newVs)
+			status, delta := "OK   ", 0.0
+			switch {
+			case o == 0:
+				// A zero baseline (common for allocs/op) has no meaningful
+				// ratio: any growth is an unbounded regression.
+				if nw > 0 {
+					status = "FAIL "
+					failed++
+				}
+			default:
+				delta = nw/o - 1
+				if delta > threshold {
+					status = "FAIL "
+					failed++
+				}
+			}
+			verdicts = append(verdicts, fmt.Sprintf("%s %-50s %12.1f → %12.1f %s  %+6.1f%%",
+				status, n, o, nw, unit, delta*100))
 		}
 	}
 	return verdicts, failed

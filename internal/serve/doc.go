@@ -7,10 +7,23 @@
 // The split exploits the two halves of the paper's serving model: routing is
 // a pure read of the topology (Appendix B), while the transformation
 // (§IV-C–F) mutates it. Readers therefore scale across cores against an
-// epoch-stamped deep copy of the graph (skipgraph.Graph.Clone), and all
-// mutation stays serialized in one goroutine, preserving the sequential
-// semantics of the transformation — including its seeded randomness — no
-// matter how many routing workers run.
+// epoch-stamped immutable replica (skipgraph.Replica), and all mutation
+// stays serialized in one goroutine, preserving the sequential semantics of
+// the transformation — including its seeded randomness — no matter how many
+// routing workers run.
+//
+// Snapshots are copy-on-write, not deep copies: the graph's mutation paths
+// record which nodes a batch touched, and publish (skipgraph.Publisher)
+// freezes fresh immutable versions of exactly those nodes, structurally
+// sharing everything else with the previous epoch. What is copied per epoch:
+// the touched nodes' link/liveness records and the trie path to each
+// touched slot. What is shared: every untouched node's frozen record and
+// every untouched trie subtree. Readers are safe because published versions
+// are never written again — the publisher path-copies before every write —
+// so publication costs O(lists touched) per batch instead of O(n), matching
+// the locality the paper proves for adjustment work. The old deep copy
+// (skipgraph.Graph.Clone) survives as the test oracle the replica is pinned
+// against.
 //
 // The engine has two modes, sharing the snapshot and batch machinery:
 //

@@ -20,7 +20,10 @@ type Config struct {
 	// publications. Values < 1 mean 32.
 	BatchSize int
 	// Backlog bounds the free-running adjustment queue. Values < 1 mean
-	// 4×BatchSize.
+	// 4×BatchSize; values below BatchSize are clamped up to BatchSize —
+	// the adjuster blocks for the first task of a batch and fills the rest
+	// from the queue, so a queue smaller than a batch could never deliver
+	// one and would stall adaptation behind shedding.
 	Backlog int
 	// OnResult, when non-nil, observes every request served by Serve, in
 	// sequence order (the deterministic order, independent of Parallelism).
@@ -54,15 +57,20 @@ func (c Config) backlog() int {
 	if c.Backlog < 1 {
 		return 4 * c.batchSize()
 	}
+	if c.Backlog < c.batchSize() {
+		return c.batchSize()
+	}
 	return c.Backlog
 }
 
 // Snapshot is an immutable routing replica of the topology at a published
-// epoch. The graph is a deep copy: safe for any number of concurrent readers
-// and never mutated after publication.
+// epoch. The replica structurally shares every node the publishing batch did
+// not touch with neighbouring epochs (copy-on-write, see
+// skipgraph.Publisher); it is never mutated after publication and is safe
+// for any number of concurrent readers.
 type Snapshot struct {
 	Epoch int64
-	Graph *skipgraph.Graph
+	Graph *skipgraph.Replica
 }
 
 // Route routes src → dst inside the snapshot.
@@ -138,6 +146,11 @@ type Engine struct {
 	dsg *core.DSG
 	cfg Config
 
+	// pub owns snapshot publication: it tracks which nodes each batch
+	// touches and path-copies exactly those into the next epoch's replica.
+	// Like the live graph, it must only be used by the adjuster.
+	pub *skipgraph.Publisher
+
 	snap atomic.Pointer[Snapshot]
 
 	// Free-running state.
@@ -198,21 +211,24 @@ type task struct {
 // New creates an engine over the DSG and publishes the epoch-0 snapshot.
 // The scoped repairs behind every adjustment assume a globally a-balanced
 // starting point, so New runs the global balance repair once (a no-op on an
-// already-balanced graph).
+// already-balanced graph). Epoch 0 is the publisher's initial replica — one
+// pass over the graph, no deep copy — which keeps engine construction cheap
+// for the migration-receiver engines internal/shard spins up.
 func New(d *core.DSG, cfg Config) *Engine {
 	d.RepairBalance()
-	e := &Engine{dsg: d, cfg: cfg}
-	e.snap.Store(&Snapshot{Epoch: 0, Graph: d.Graph().Clone()})
+	e := &Engine{dsg: d, cfg: cfg, pub: skipgraph.NewPublisher(d.Graph())}
+	e.snap.Store(&Snapshot{Epoch: 0, Graph: e.pub.Current()})
 	return e
 }
 
 // Snapshot returns the most recently published snapshot.
 func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
 
-// publish deep-copies the live graph into the next-epoch snapshot. Only the
+// publish freezes the batch's mutations into the next-epoch snapshot,
+// path-copying the touched nodes and structurally sharing the rest. Only the
 // adjuster (or the Serve loop between batches) may call it.
 func (e *Engine) publish() {
-	next := &Snapshot{Epoch: e.snap.Load().Epoch + 1, Graph: e.dsg.Graph().Clone()}
+	next := &Snapshot{Epoch: e.snap.Load().Epoch + 1, Graph: e.pub.Publish()}
 	e.snap.Store(next)
 	e.epochs.Add(1)
 }

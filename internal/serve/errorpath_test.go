@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"sync"
 	"testing"
 
 	"lsasg/internal/core"
@@ -151,6 +152,87 @@ func TestServeEarlyCancel(t *testing.T) {
 	close(ch2)
 	if _, err := e.Serve(context.Background(), ch2); err != nil {
 		t.Fatalf("reuse after early cancel: %v", err)
+	}
+}
+
+// TestRouteRetryBounded pins the retry cap on the detect→repair→retry loop:
+// when every retry finds a fresher snapshot that STILL contains the corpse
+// (repair failing or perpetually behind), Route must give up after
+// maxRouteAttempts and surface the DeadRouteError instead of livelocking.
+// The unbounded pre-fix loop hangs here: a background goroutine publishes an
+// ever-newer epoch of the same corpse-bearing replica as fast as it can.
+func TestRouteRetryBounded(t *testing.T) {
+	d := core.New(32, core.Config{A: 4, Seed: 19})
+	if err := d.Crash(7); err != nil {
+		t.Fatal(err)
+	}
+	e := New(d, Config{}) // the epoch-0 replica contains the corpse
+	base := e.snap.Load()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := int64(1); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				e.snap.Store(&Snapshot{Epoch: base.Epoch + i, Graph: base.Graph})
+			}
+		}
+	}()
+	_, _, err := e.Route(3, 7)
+	close(stop)
+	wg.Wait()
+	var dre *skipgraph.DeadRouteError
+	if !errors.As(err, &dre) || dre.Node.ID() != 7 {
+		t.Fatalf("route to corpse: %v, want DeadRouteError on 7", err)
+	}
+	if det := e.Live().DeadDetected; det < 1 || det > maxRouteAttempts {
+		t.Errorf("DeadDetected = %d, want in [1, %d]", det, maxRouteAttempts)
+	}
+}
+
+// TestBacklogClampedToBatchSize pins the Config.backlog clamp: a backlog
+// below the batch size can never hold a full batch, so it is raised to
+// BatchSize; defaults and sane explicit values are untouched.
+func TestBacklogClampedToBatchSize(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want int
+	}{
+		{Config{}, 128},                          // default: 4 × default batch 32
+		{Config{BatchSize: 64}, 256},             // default: 4 × batch
+		{Config{BatchSize: 64, Backlog: 8}, 64},  // clamped up to batch
+		{Config{BatchSize: 2, Backlog: 5}, 5},    // explicit value ≥ batch kept
+		{Config{BatchSize: 16, Backlog: 16}, 16}, // boundary kept
+	}
+	for _, tc := range cases {
+		if got := tc.cfg.backlog(); got != tc.want {
+			t.Errorf("backlog(batch=%d, backlog=%d) = %d, want %d",
+				tc.cfg.BatchSize, tc.cfg.Backlog, got, tc.want)
+		}
+	}
+
+	// Behavioral: a free-running engine configured with Backlog < BatchSize
+	// must still accept and apply a full batch of submissions.
+	d := core.New(16, core.Config{A: 4, Seed: 23})
+	e := New(d, Config{BatchSize: 8, Backlog: 2})
+	e.Start()
+	for id := int64(100); id < 106; id++ {
+		if !e.SubmitJoin(id) {
+			t.Fatalf("join %d shed despite clamped backlog", id)
+		}
+	}
+	if err := e.MigrateMembership(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	if st := e.Live(); st.Joins != 6 {
+		t.Errorf("joins applied = %d, want 6", st.Joins)
 	}
 }
 

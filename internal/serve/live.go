@@ -67,6 +67,13 @@ func (e *Engine) Stop() error {
 	return e.firstErr
 }
 
+// maxRouteAttempts bounds the detect→repair→retry loop in Route: each
+// attempt runs against a strictly newer snapshot, but repeated repair
+// failures (e.g. TolerateAdjustMiss drops during a migration, or fresh
+// crashes landing every epoch) could otherwise retry forever. After the
+// bound the last DeadRouteError is surfaced and the caller degrades.
+const maxRouteAttempts = 4
+
 // Route routes src → dst against the freshest published snapshot and offers
 // the pair to the adjustment queue. Safe for concurrent use. The returned
 // epoch identifies the snapshot the request saw.
@@ -75,13 +82,14 @@ func (e *Engine) Stop() error {
 // free-running mode: the dead node is reported (DeadDetected), a repair task
 // is offered to the adjuster, and the route retries only if a snapshot newer
 // than the one it failed on has already been published (the repair may be in
-// it). Without a fresher snapshot the DeadRouteError is returned and the
-// caller degrades — the repair lands asynchronously and a later route
-// succeeds. Repair tasks are sheddable like everything else: a dropped one is
-// re-offered by the next detection.
+// it), at most maxRouteAttempts times in total. Without a fresher snapshot,
+// or once the attempts are spent, the last DeadRouteError is returned and
+// the caller degrades — the repair lands asynchronously and a later route
+// succeeds. Repair tasks are sheddable like everything else: a dropped one
+// is re-offered by the next detection.
 func (e *Engine) Route(src, dst int64) (skipgraph.RouteResult, int64, error) {
 	snap := e.snap.Load()
-	for {
+	for attempt := 1; ; attempt++ {
 		r, err := snap.Route(src, dst)
 		if err == nil {
 			e.routed.Add(1)
@@ -95,6 +103,9 @@ func (e *Engine) Route(src, dst int64) (skipgraph.RouteResult, int64, error) {
 		}
 		e.detected.Add(1)
 		e.offer(task{op: opRepair, src: dre.Node.ID()})
+		if attempt >= maxRouteAttempts {
+			return r, snap.Epoch, err
+		}
 		if fresh := e.snap.Load(); fresh.Epoch > snap.Epoch {
 			snap = fresh
 			continue

@@ -11,10 +11,10 @@ import (
 
 // TestShardedStress is the race-detector stress for the sharded path: many
 // goroutines route across shards — each route reading an immutable
-// skipgraph.Graph.Clone snapshot plus the shared directory pointer — while
-// the background rebalancer swaps directory epochs and migrates key ranges
-// through the running adjusters. CI runs this with -race on every PR
-// alongside the serve-engine stress.
+// skipgraph.Replica snapshot (structurally shared across epochs) plus the
+// shared directory pointer — while the background rebalancer swaps directory
+// epochs and migrates key ranges through the running adjusters. CI runs this
+// with -race on every PR alongside the serve-engine stress.
 func TestShardedStress(t *testing.T) {
 	const (
 		n       = 96

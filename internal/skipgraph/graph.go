@@ -25,6 +25,15 @@ type Graph struct {
 	nodes  []*Node // key order
 	byKey  map[Key]*Node
 	height int // cached; -1 when dirty
+
+	// Dirty tracking for copy-on-write snapshot publication (publisher.go).
+	// With a Publisher attached, track maps every node whose links or
+	// liveness changed since the last publish to its pre-touch top linked
+	// level (touchAdded for nodes spliced in this batch); nil track means no
+	// publisher and zero overhead. trackOver flags a batch too large to log —
+	// the next publish falls back to a full rebuild.
+	track     map[*Node]int
+	trackOver bool
 }
 
 // NewRandom builds a skip graph over n real nodes with keys and identifiers
@@ -152,6 +161,7 @@ func (g *Graph) Head() *Node {
 // complete membership of one level-`level` list.
 func (g *Graph) Relink(nodes []*Node, level int, brancher Brancher) {
 	g.dirty()
+	g.touchAll(nodes)
 	g.relink(nodes, level, brancher)
 }
 
@@ -191,6 +201,7 @@ func (g *Graph) relink(nodes []*Node, level int, brancher Brancher) {
 // lacks the next bit (used for truncated figure reconstructions).
 func (g *Graph) relinkPartial(nodes []*Node, level int) {
 	g.dirty()
+	g.touchAll(nodes)
 	linkChain(nodes, level)
 	if len(nodes) < 2 {
 		if len(nodes) == 1 {
@@ -279,6 +290,7 @@ func (g *Graph) spliceIn(n *Node) {
 		panic(fmt.Sprintf("skipgraph: duplicate key %v", n.key))
 	}
 	g.dirty()
+	g.touchNew(n)
 	pos := sort.Search(len(g.nodes), func(i int) bool { return n.key.Less(g.nodes[i].key) })
 	g.nodes = append(g.nodes, nil)
 	copy(g.nodes[pos+1:], g.nodes[pos:])
@@ -303,9 +315,11 @@ func (g *Graph) spliceIn(n *Node) {
 		}
 		n.setLink(level, left, right)
 		if left != nil {
+			g.touch(left)
 			left.setLink(level, left.Prev(level), n)
 		}
 		if right != nil {
+			g.touch(right)
 			right.setLink(level, n, right.Next(level))
 		}
 		if left == nil && right == nil && level > 0 {
@@ -320,15 +334,18 @@ func (g *Graph) spliceOut(n *Node) {
 		panic(fmt.Sprintf("skipgraph: node %v not in graph", n.key))
 	}
 	g.dirty()
+	g.touch(n)
 	pos := sort.Search(len(g.nodes), func(i int) bool { return !g.nodes[i].key.Less(n.key) })
 	g.nodes = append(g.nodes[:pos], g.nodes[pos+1:]...)
 	delete(g.byKey, n.key)
 	for level := 0; level <= n.MaxLinkedLevel(); level++ {
 		left, right := n.Prev(level), n.Next(level)
 		if left != nil {
+			g.touch(left)
 			left.setLink(level, left.Prev(level), right)
 		}
 		if right != nil {
+			g.touch(right)
 			right.setLink(level, left, right.Next(level))
 		}
 	}
@@ -486,11 +503,14 @@ func (g *Graph) spliceAtLevel(x *Node, m int) int {
 			break
 		}
 	}
+	g.touch(x)
 	x.setLink(m, left, right)
 	if left != nil {
+		g.touch(left)
 		left.setLink(m, left.Prev(m), x)
 	}
 	if right != nil {
+		g.touch(right)
 		right.setLink(m, x, right.Next(m))
 	}
 	return work

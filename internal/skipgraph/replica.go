@@ -1,0 +1,260 @@
+package skipgraph
+
+// This file is the read side of copy-on-write snapshot publication
+// (see publisher.go for the write side): a Replica is an immutable routing
+// view of the graph at one published epoch. Replicas of consecutive epochs
+// structurally share every node the intervening batch did not touch, so
+// publication costs O(lists touched), not O(n) — the locality the paper
+// proves for adjustment work now holds for snapshot work too.
+//
+// Race-safety audit (why a Replica is safe to share with any number of
+// readers while the live graph keeps mutating under the adjuster):
+//
+//   - A Replica reaches nodes only through repNode values and the slot trie,
+//     both frozen at publish time: the publisher path-copies every trie node
+//     and repNode it rewrites, so the versions already handed out are never
+//     written again.
+//   - repNode.h points at the LIVE node, but readers touch only fields that
+//     are immutable after construction: key, id, dummy. Liveness (dead) and
+//     link state are copied into the repNode at publish, so a later crash or
+//     splice on the live node cannot leak into an older epoch.
+//   - The key accelerator is a sync.Map shared across epochs and updated by
+//     the publisher; it is a hint, not a source of truth. Every hit is
+//     verified against the replica's own trie (slot occupied AND the key
+//     matches), and a miss or stale hit falls back to a key search over the
+//     replica's frozen links — so lookups are correct at every epoch no
+//     matter how far the accelerator has moved on.
+//   - RouteResult.Path exposes live *Node handles (for key/id inspection);
+//     callers must not call link accessors (Next/Prev/MaxLinkedLevel) on
+//     them — those read live state owned by the adjuster.
+//
+// Replica.route mirrors Graph.Route decision for decision (same hop choices,
+// same DeadRouteError and "routing stuck" failures, same LevelDrops), which
+// is what keeps the golden-pinned experiment CSVs byte-identical across the
+// deep-copy → structural-sharing switch. internal/skipgraph's oracle tests
+// pin the equivalence against Graph.Clone.
+
+import (
+	"fmt"
+	"sync"
+)
+
+// repNode is one node's frozen per-epoch state: the live handle (immutable
+// identity fields only), the liveness flag as of the epoch, and the level
+// links encoded as slots into the replica's trie (-1 = no neighbour). Slices
+// are trimmed at the node's highest linked level.
+type repNode struct {
+	h    *Node
+	dead bool
+	next []int32
+	prev []int32
+}
+
+// maxLinkedLevel mirrors Node.MaxLinkedLevel: the highest linked level, 0
+// when the node has no links at all.
+func (rn *repNode) maxLinkedLevel() int {
+	if len(rn.next) == 0 {
+		return 0
+	}
+	return len(rn.next) - 1
+}
+
+func (rn *repNode) nextAt(l int) int32 {
+	if l < 0 || l >= len(rn.next) {
+		return -1
+	}
+	return rn.next[l]
+}
+
+func (rn *repNode) prevAt(l int) int32 {
+	if l < 0 || l >= len(rn.prev) {
+		return -1
+	}
+	return rn.prev[l]
+}
+
+// Replica is an immutable routing view of a Graph at one published epoch,
+// produced by a Publisher. It supports exactly the read surface the serving
+// layers need — RouteKeys, Height, RealKeysInRange — and shares all
+// untouched state with neighbouring epochs.
+type Replica struct {
+	root  *trieNode
+	depth int
+	cap   int32 // slots addressable by this replica's trie
+	head  int32 // slot of the minimum-key node; -1 when empty
+	hgt   int
+	n     int
+	keys  *sync.Map
+}
+
+// N returns the number of nodes (dummies included) at the replica's epoch.
+func (r *Replica) N() int { return r.n }
+
+// Height returns the graph height at the replica's epoch, precomputed at
+// publish so it is a pure field read (safe for concurrent use).
+func (r *Replica) Height() int { return r.hgt }
+
+// get resolves a slot to its frozen node state, nil when unoccupied or out
+// of this epoch's range (a newer slot leaked in via the accelerator).
+func (r *Replica) get(slot int32) *repNode {
+	if slot < 0 || slot >= r.cap {
+		return nil
+	}
+	nd := r.root
+	for l := r.depth; l > 0; l-- {
+		nd = nd.kids[(slot>>(uint(l)*repBits))&repMask]
+		if nd == nil {
+			return nil
+		}
+	}
+	return nd.vals[slot&repMask]
+}
+
+// lookup finds the node with the given key at this epoch: accelerator hit
+// verified against the trie, with a frozen-link key search as the fallback
+// (correct regardless of how stale the shared accelerator is).
+func (r *Replica) lookup(k Key) *repNode {
+	if v, ok := r.keys.Load(k); ok {
+		if rn := r.get(v.(int32)); rn != nil && rn.h.key == k {
+			return rn
+		}
+	}
+	return r.search(k)
+}
+
+// search walks the replica's frozen links from the head, exactly like a
+// skip-graph key search: descend from the head's top level, moving right
+// while the next key does not pass the target.
+func (r *Replica) search(k Key) *repNode {
+	cur := r.get(r.head)
+	if cur == nil || k.Less(cur.h.key) {
+		return nil
+	}
+	for level := cur.maxLinkedLevel(); level >= 0; level-- {
+		for {
+			ns := cur.nextAt(level)
+			if ns < 0 {
+				break
+			}
+			next := r.get(ns)
+			if k.Less(next.h.key) {
+				break
+			}
+			cur = next
+		}
+		if cur.h.key == k {
+			return cur
+		}
+	}
+	return nil
+}
+
+// RouteKeys routes between the nodes with the given keys, mirroring
+// Graph.RouteKeys (including its ErrUnknownKey wrapping).
+func (r *Replica) RouteKeys(src, dst Key) (RouteResult, error) {
+	s := r.lookup(src)
+	if s == nil {
+		return RouteResult{}, fmt.Errorf("%w: source %v", ErrUnknownKey, src)
+	}
+	d := r.lookup(dst)
+	if d == nil {
+		return RouteResult{}, fmt.Errorf("%w: destination %v", ErrUnknownKey, dst)
+	}
+	return r.route(s, d)
+}
+
+// route is Graph.Route transliterated onto frozen per-epoch state: the same
+// top-down walk, the same dead-contact detection, the same stuck failure.
+// Any divergence here would shift the golden-pinned experiment outputs.
+func (r *Replica) route(src, dst *repNode) (RouteResult, error) {
+	if src.dead {
+		return RouteResult{}, &DeadRouteError{Node: src.h}
+	}
+	if dst.dead {
+		return RouteResult{}, &DeadRouteError{Node: dst.h}
+	}
+	res := RouteResult{Path: []*Node{src.h}}
+	if src == dst {
+		return res, nil
+	}
+	right := src.h.key.Less(dst.h.key)
+	cur := src
+	level := cur.maxLinkedLevel()
+	for cur != dst {
+		if right {
+			if ns := cur.nextAt(level); ns >= 0 {
+				next := r.get(ns)
+				if !dst.h.key.Less(next.h.key) {
+					if next.dead {
+						return res, &DeadRouteError{Node: next.h}
+					}
+					cur = next
+					res.Path = append(res.Path, cur.h)
+					continue
+				}
+			}
+		} else {
+			if ps := cur.prevAt(level); ps >= 0 {
+				next := r.get(ps)
+				if !next.h.key.Less(dst.h.key) {
+					if next.dead {
+						return res, &DeadRouteError{Node: next.h}
+					}
+					cur = next
+					res.Path = append(res.Path, cur.h)
+					continue
+				}
+			}
+		}
+		if level == 0 {
+			return res, fmt.Errorf("skipgraph: routing stuck at %v targeting %v", cur.h.key, dst.h.key)
+		}
+		level--
+		res.LevelDrops++
+	}
+	return res, nil
+}
+
+// RealKeysInRange returns the primary keys of the real (non-dummy) nodes in
+// [lo, hi) at the replica's epoch, ascending — the Graph.RealKeysInRange
+// equivalent shard migration reads from a published snapshot while the
+// donor's adjuster keeps working.
+func (r *Replica) RealKeysInRange(lo, hi Key) []int64 {
+	cur := r.get(r.head)
+	if cur == nil {
+		return nil
+	}
+	if cur.h.key.Less(lo) {
+		// Descend to the last node with key < lo, then step right once.
+		for level := cur.maxLinkedLevel(); level >= 0; level-- {
+			for {
+				ns := cur.nextAt(level)
+				if ns < 0 {
+					break
+				}
+				next := r.get(ns)
+				if !next.h.key.Less(lo) {
+					break
+				}
+				cur = next
+			}
+		}
+		ns := cur.nextAt(0)
+		if ns < 0 {
+			return nil
+		}
+		cur = r.get(ns)
+	}
+	var keys []int64
+	for cur != nil && cur.h.key.Less(hi) {
+		if !cur.h.dummy {
+			keys = append(keys, cur.h.key.Primary)
+		}
+		ns := cur.nextAt(0)
+		if ns < 0 {
+			break
+		}
+		cur = r.get(ns)
+	}
+	return keys
+}

@@ -1,0 +1,228 @@
+package skipgraph
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// The replica oracle tests: after every published epoch, Replica routing,
+// height, and range extraction must agree exactly with a deep Clone of the
+// same graph state — the two snapshot mechanisms check each other. Old
+// replica/clone pairs are re-checked after further churn to pin structural
+// sharing's immutability.
+
+// routeSig flattens one routing outcome into a comparable string: the visited
+// keys, the level drops, and the exact error text (nil-safe).
+func routeSig(res RouteResult, err error) string {
+	var b strings.Builder
+	for _, n := range res.Path {
+		fmt.Fprintf(&b, "%v,", n.Key())
+	}
+	fmt.Fprintf(&b, "|drops=%d", res.LevelDrops)
+	if err != nil {
+		fmt.Fprintf(&b, "|err=%v", err)
+	}
+	return b.String()
+}
+
+// checkAgainstClone compares the replica with a clone of the same state over
+// every src/dst pair of the given keys (present or not), plus height, size,
+// and a few extraction ranges.
+func checkAgainstClone(t *testing.T, tag string, rep *Replica, cl *Graph, keys []Key) {
+	t.Helper()
+	if rep.N() != cl.N() {
+		t.Fatalf("%s: replica N=%d, clone N=%d", tag, rep.N(), cl.N())
+	}
+	if rep.Height() != cl.Height() {
+		t.Fatalf("%s: replica height=%d, clone height=%d", tag, rep.Height(), cl.Height())
+	}
+	for _, s := range keys {
+		for _, d := range keys {
+			rr, rerr := rep.RouteKeys(s, d)
+			cr, cerr := cl.RouteKeys(s, d)
+			if got, want := routeSig(rr, rerr), routeSig(cr, cerr); got != want {
+				t.Fatalf("%s: route %v->%v diverged:\nreplica: %s\nclone:   %s", tag, s, d, got, want)
+			}
+		}
+	}
+	ranges := [][2]Key{
+		{KeyOf(-1), KeyOf(1 << 20)},
+		{KeyOf(10), KeyOf(40)},
+		{KeyOf(1000), KeyOf(1010)},
+		{KeyOf(5), KeyOf(5)},
+	}
+	for _, r := range ranges {
+		got := rep.RealKeysInRange(r[0], r[1])
+		want := cl.RealKeysInRange(r[0], r[1])
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("%s: RealKeysInRange(%v,%v): replica %v, clone %v", tag, r[0], r[1], got, want)
+		}
+	}
+}
+
+// TestReplicaMatchesCloneUnderChurn drives rounds of joins, leaves, and
+// crashes through a published graph, checking replica-vs-clone equivalence at
+// every epoch AND re-checking earlier epochs after later churn (immutability
+// through structural sharing).
+func TestReplicaMatchesCloneUnderChurn(t *testing.T) {
+	g := NewRandom(64, 1)
+	p := NewPublisher(g)
+	br := RandomBrancher(2)
+
+	allKeys := func() []Key {
+		ks := []Key{KeyOf(-7)} // always include one absent key for ErrUnknownKey parity
+		for _, n := range g.Nodes() {
+			ks = append(ks, n.Key())
+		}
+		return ks
+	}
+
+	type epoch struct {
+		tag  string
+		rep  *Replica
+		cl   *Graph
+		keys []Key
+	}
+	var saved []epoch
+	check := func(tag string) {
+		keys := allKeys()
+		rep := p.Publish()
+		cl := g.Clone()
+		checkAgainstClone(t, tag, rep, cl, keys)
+		saved = append(saved, epoch{tag, rep, cl, keys})
+	}
+
+	check("epoch0")
+
+	nextKey := int64(1000)
+	for round := 0; round < 6; round++ {
+		// Joins.
+		for i := 0; i < 4; i++ {
+			g.InsertTracked(KeyOf(nextKey), nextKey, br)
+			nextKey++
+		}
+		// Leaves: drop a few of the original keys.
+		for i := 0; i < 2; i++ {
+			k := KeyOf(int64(round*9 + i*3))
+			if n, _ := g.RemoveTracked(k); n == nil {
+				t.Fatalf("round %d: remove %v missed", round, k)
+			}
+		}
+		// Crashes: kill one node per round, live links untouched.
+		g.Crash(KeyOf(int64(60 - round)))
+		check(fmt.Sprintf("round%d", round))
+	}
+
+	// Every earlier epoch must still agree with ITS clone — later publishes
+	// share structure with it but must never have written through it.
+	for _, e := range saved {
+		checkAgainstClone(t, e.tag+"/replay", e.rep, e.cl, e.keys)
+	}
+}
+
+// TestReplicaOverflowRebuild forces the touch-log overflow path and checks
+// the rebuilt replica is equivalent (the fallback is the epoch-0 code path).
+func TestReplicaOverflowRebuild(t *testing.T) {
+	g := NewRandom(48, 3)
+	p := NewPublisher(g)
+	br := RandomBrancher(4)
+	g.InsertTracked(KeyOf(500), 500, br)
+	g.Crash(KeyOf(10))
+	g.trackOver = true // simulate a batch larger than trackCap
+	rep := p.Publish()
+	checkAgainstClone(t, "overflow", rep, g.Clone(), []Key{
+		KeyOf(0), KeyOf(10), KeyOf(23), KeyOf(47), KeyOf(500), KeyOf(-7),
+	})
+	// Tracking must be re-armed: a further incremental publish works.
+	g.InsertTracked(KeyOf(501), 501, br)
+	rep2 := p.Publish()
+	checkAgainstClone(t, "post-overflow", rep2, g.Clone(), []Key{
+		KeyOf(0), KeyOf(47), KeyOf(500), KeyOf(501),
+	})
+}
+
+// TestPublishNoChangesReusesReplica pins the barrier-publish optimization: a
+// publish with nothing touched returns the current replica unchanged.
+func TestPublishNoChangesReusesReplica(t *testing.T) {
+	g := NewRandom(16, 5)
+	p := NewPublisher(g)
+	r0 := p.Current()
+	if r1 := p.Publish(); r1 != r0 {
+		t.Fatalf("publish with no mutations built a new replica")
+	}
+	g.InsertTracked(KeyOf(100), 100, RandomBrancher(6))
+	if r2 := p.Publish(); r2 == r0 {
+		t.Fatalf("publish after a mutation returned the stale replica")
+	}
+}
+
+// TestPublisherReattach pins that attaching a fresh Publisher to a graph that
+// already had one orphans the old one safely: the old publisher's replicas
+// stay valid and the new one tracks from scratch.
+func TestPublisherReattach(t *testing.T) {
+	g := NewRandom(32, 7)
+	br := RandomBrancher(8)
+	p1 := NewPublisher(g)
+	g.InsertTracked(KeyOf(200), 200, br)
+	old := p1.Publish()
+	oldClone := g.Clone()
+
+	p2 := NewPublisher(g) // orphans p1
+	g.InsertTracked(KeyOf(201), 201, br)
+	g.RemoveTracked(KeyOf(3))
+	rep := p2.Publish()
+	checkAgainstClone(t, "p2", rep, g.Clone(), []Key{
+		KeyOf(0), KeyOf(3), KeyOf(31), KeyOf(200), KeyOf(201), KeyOf(-7),
+	})
+	// p1's published replica still matches the state it froze.
+	checkAgainstClone(t, "orphaned", old, oldClone, []Key{
+		KeyOf(0), KeyOf(3), KeyOf(31), KeyOf(200), KeyOf(-7),
+	})
+}
+
+// TestReplicaSameBatchRemoveReadd pins the accelerator edge case: removing a
+// key and re-adding the SAME key in one batch must leave the new node
+// routable and the old node gone at the new epoch.
+func TestReplicaSameBatchRemoveReadd(t *testing.T) {
+	g := NewRandom(24, 9)
+	p := NewPublisher(g)
+	br := RandomBrancher(10)
+	if n, _ := g.RemoveTracked(KeyOf(11)); n == nil {
+		t.Fatal("remove missed")
+	}
+	g.InsertTracked(KeyOf(11), 1111, br)
+	rep := p.Publish()
+	checkAgainstClone(t, "readd", rep, g.Clone(), []Key{
+		KeyOf(0), KeyOf(11), KeyOf(23),
+	})
+	// And the reverse order: add a fresh key then remove it in one batch.
+	g.InsertTracked(KeyOf(300), 300, br)
+	if n, _ := g.RemoveTracked(KeyOf(300)); n == nil {
+		t.Fatal("remove of fresh key missed")
+	}
+	rep2 := p.Publish()
+	if _, err := rep2.RouteKeys(KeyOf(0), KeyOf(300)); err == nil {
+		t.Fatal("key added and removed in one batch still routable")
+	}
+	checkAgainstClone(t, "add-remove", rep2, g.Clone(), []Key{
+		KeyOf(0), KeyOf(11), KeyOf(300),
+	})
+}
+
+// TestReplicaGrowsTrie pushes past one trie level (repFan slots) so the
+// root-growth path and deep path-copying are exercised.
+func TestReplicaGrowsTrie(t *testing.T) {
+	g := NewRandom(8, 11)
+	p := NewPublisher(g)
+	br := RandomBrancher(12)
+	for i := int64(0); i < 3*repFan; i++ {
+		g.InsertTracked(KeyOf(1000+i), 1000+i, br)
+		if i%17 == 0 {
+			p.Publish()
+		}
+	}
+	rep := p.Publish()
+	keys := []Key{KeyOf(0), KeyOf(7), KeyOf(1000), KeyOf(1000 + 3*repFan - 1), KeyOf(-7)}
+	checkAgainstClone(t, "grown", rep, g.Clone(), keys)
+}

@@ -1,24 +1,25 @@
 package skipgraph
 
-// This file is the snapshot side of the concurrent serving engine
-// (internal/serve): a Graph can be deep-copied into an immutable routing
-// replica that many goroutines read in parallel while the original keeps
-// mutating under the single adjuster.
+// This file is the deep-copy snapshot: a Graph can be cloned into a fully
+// independent twin that shares no memory with the original.
 //
-// Race-safety audit of the route path (why a frozen clone is safe to share):
+// The concurrent serving engine (internal/serve) no longer publishes clones —
+// it publishes structurally shared Replicas built by a Publisher, which cost
+// O(lists touched) per epoch instead of O(n); see replica.go for the read
+// side and its race-safety audit, publisher.go for the write side. Clone
+// stays for two jobs:
 //
-//   - Route/RouteKeys only read Node.key, Node.next/prev (via Next/Prev) and
-//     Node.MaxLinkedLevel; none of them write any field.
-//   - ByKey reads the byKey map; no reader mutates it.
-//   - DirectlyLinked and ListAt are equally read-only.
-//   - The ONE mutating accessor a reader could reach is Height(), which
-//     lazily fills the g.height cache. Clone therefore precomputes the
-//     height so Height() on a clone is a pure field read.
+//   - Oracle: replica_test.go pins Replica routing, height, and range
+//     extraction against a clone of the same graph state, so the two
+//     snapshot mechanisms check each other.
+//   - Fallback idiom: code that wants a frozen copy without attaching a
+//     Publisher (one-shot analysis, experiments) can still take one.
 //
-// Anything else on Graph (Insert/Remove/Relink/SpliceIn/...) mutates and must
-// stay confined to the adjuster's live graph. The serve engine never hands a
-// clone to mutating code; internal/serve's stress test runs this contract
-// under the race detector.
+// The original audit for sharing a clone across goroutines still holds: all
+// route-path accessors (Route/RouteKeys, ByKey, DirectlyLinked, ListAt) are
+// read-only, and Clone precomputes the height cache so Height() on a clone is
+// a pure field read. A clone carries no dirty tracking (its track field is
+// nil) regardless of whether the source graph had a Publisher attached.
 
 // Clone returns a deep copy of the graph: fresh Node values with copied keys,
 // identifiers, dummy flags, and membership vectors, re-linked level by level
