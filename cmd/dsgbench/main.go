@@ -8,8 +8,8 @@
 // -out captures the report (a file here; stdout when empty). Timing goes to
 // stderr, so two runs with the same -seed produce byte-identical captured
 // output — except the wall-clock columns of E17 (requests/sec, lag), E18
-// (requests/sec), and E20 (events/sec), which measure real elapsed time by
-// design.
+// and E19 (requests/sec), and E20 (events/sec), which measure real elapsed
+// time by design.
 //
 // Usage:
 //
@@ -18,6 +18,7 @@
 //	dsgbench -quick -out rep.txt  # smaller sizes, report into rep.txt
 //	dsgbench -seed 7              # change the random seed
 //	dsgbench -run E18 -shards 2,8 # sweep shard counts for the sharded study
+//	dsgbench -run E19 -mix a,crud # sweep KV operation mixes for the KV study
 //	dsgbench -list                # list registered experiments and exit
 package main
 
@@ -38,6 +39,7 @@ func main() {
 		seed   = cliutil.AddSeed(flag.CommandLine)
 		out    = cliutil.AddOut(flag.CommandLine, "write the rendered tables to this file (default stdout)")
 		shards = cliutil.AddShards(flag.CommandLine)
+		mix    = cliutil.AddMix(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -55,6 +57,11 @@ func main() {
 		cliutil.Fail("dsgbench", "%v", err)
 	} else if sweep != nil {
 		sc.Shards = sweep
+	}
+	if mixes, err := cliutil.ParseMixes(*mix); err != nil {
+		cliutil.Fail("dsgbench", "%v", err)
+	} else if mixes != nil {
+		sc.Mixes = mixes
 	}
 
 	selected, err := experiments.Select(*run)

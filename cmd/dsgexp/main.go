@@ -1,12 +1,13 @@
 // Command dsgexp is the reproducible experiment runner: it executes a
-// configurable grid over the registered paper experiments (E1–E18, E20) and
+// configurable grid over the registered paper experiments (E1–E20) and
 // writes machine-readable results — one CSV and one JSON per experiment
 // plus a BENCH_dsgexp.json summary — to a timestamped output directory.
 // Two runs with the same flags and seed produce byte-identical CSVs, so
 // result files can be diffed across commits to track the performance
 // trajectory of the implementation. (The exemptions: E17's requests/sec and
-// adjustment-lag columns, E18's requests/sec column, and E20's events/sec
-// column are wall-clock measurements; every other column is byte-stable.)
+// adjustment-lag columns, the requests/sec columns of E18 and E19, and
+// E20's events/sec column are wall-clock measurements; every other column
+// is byte-stable.)
 //
 // Usage:
 //
@@ -14,12 +15,16 @@
 //	dsgexp -full -repeats 5          # full scale, 5 repeats aggregated as mean/sd
 //	dsgexp -only E5,E8 -out results  # two experiments into ./results
 //	dsgexp -only E18 -shards 1,4,16  # sweep shard counts for the sharded study
+//	dsgexp -only E19 -mix a,e,crud   # sweep KV operation mixes for the KV study
 //	dsgexp -list                     # list registered experiments and exit
 //
 // Experiments run in parallel (bounded by -par); each (experiment, repeat)
 // cell derives its own seed from -seed, so parallelism never changes the
 // results. The optional -bench flag writes an extra copy of the summary to
-// a fixed path (e.g. the repo root) for CI diffing.
+// a fixed path (e.g. the repo root) for CI diffing, and -bench-append
+// extends a committed perf-trajectory file (a JSON array of summaries,
+// oldest first) so performance re-anchors read from data instead of commit
+// messages.
 package main
 
 import (
@@ -40,10 +45,12 @@ func main() {
 		only    = flag.String("only", "", "comma-separated experiment ids to run (e.g. E5,E8); empty = all")
 		par     = flag.Int("par", 0, "max experiments running concurrently (0 = GOMAXPROCS)")
 		bench   = flag.String("bench", "", "also write the BENCH_dsgexp.json summary to this path")
+		benchAp = flag.String("bench-append", "", "append the summary to the perf-trajectory file at this path (a JSON array, oldest first)")
 		list    = flag.Bool("list", false, "list registered experiments and exit")
 		seed    = cliutil.AddSeed(flag.CommandLine)
 		out     = cliutil.AddOut(flag.CommandLine, "output directory (default dsgexp_runs/<timestamp>)")
 		shards  = cliutil.AddShards(flag.CommandLine)
+		mix     = cliutil.AddMix(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -66,6 +73,11 @@ func main() {
 		fail("%v", err)
 	} else if sweep != nil {
 		sc.Shards = sweep
+	}
+	if mixes, err := cliutil.ParseMixes(*mix); err != nil {
+		fail("%v", err)
+	} else if mixes != nil {
+		sc.Mixes = mixes
 	}
 
 	selected, err := experiments.Select(*only)
@@ -106,6 +118,12 @@ func main() {
 			fail("copying summary to %s: %v", *bench, err)
 		}
 		fmt.Printf("dsgexp: summary also at %s\n", *bench)
+	}
+	if *benchAp != "" {
+		if err := experiments.AppendTrajectory(*benchAp, summary); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("dsgexp: summary appended to trajectory %s\n", *benchAp)
 	}
 	if summary.Failed > 0 {
 		fail("%d experiment(s) failed", summary.Failed)

@@ -19,6 +19,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"lsasg/internal/workload"
 )
 
 // AddSeed registers the shared -seed flag.
@@ -61,6 +63,38 @@ func ParseShards(v string) ([]int, error) {
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("cliutil: empty -shards list %q", v)
+	}
+	return out, nil
+}
+
+// AddMix registers the shared -mix flag: a comma-separated list of KV
+// operation mixes for the KV-workload experiments (E19). An empty value
+// keeps the scale's default sweep, mirroring -shards.
+func AddMix(fs *flag.FlagSet) *string {
+	return fs.String("mix", "", "comma-separated KV mixes for KV experiments (named: a,b,c,e,crud; or read:update:insert:scan:delete weights); empty = scale default")
+}
+
+// ParseMixes parses an AddMix value into mix names, validating each against
+// workload.ParseMix. Empty input yields nil (meaning: keep the default
+// sweep).
+func ParseMixes(v string) ([]string, error) {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return nil, nil
+	}
+	var out []string
+	for _, part := range strings.Split(v, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if _, err := workload.ParseMix(part); err != nil {
+			return nil, fmt.Errorf("cliutil: bad -mix entry %q: %w", part, err)
+		}
+		out = append(out, part)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cliutil: empty -mix list %q", v)
 	}
 	return out, nil
 }

@@ -49,6 +49,30 @@ func TestParseShards(t *testing.T) {
 	}
 }
 
+func TestParseMixes(t *testing.T) {
+	fs := flag.NewFlagSet("m", flag.ContinueOnError)
+	mix := AddMix(fs)
+	if err := fs.Parse([]string{"-mix", "a, crud,50:30:10:5:5"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseMixes(*mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != "a" || got[1] != "crud" || got[2] != "50:30:10:5:5" {
+		t.Fatalf("ParseMixes = %v", got)
+	}
+
+	if got, err := ParseMixes(""); err != nil || got != nil {
+		t.Errorf("empty -mix must mean the default sweep, got %v, %v", got, err)
+	}
+	for _, bad := range []string{"z", "a,bogus", "1:2:3", ","} {
+		if _, err := ParseMixes(bad); err == nil {
+			t.Errorf("ParseMixes(%q) must fail", bad)
+		}
+	}
+}
+
 func TestOutputStdoutAndFile(t *testing.T) {
 	w, err := Output("")
 	if err != nil {

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"fmt"
+
+	"lsasg/internal/skipgraph"
+)
+
+// This file is the op envelope of the KV data plane: the request type every
+// serving layer boundary (engine dispatch, shard dispatch, public API)
+// carries instead of a bare src/dst pair. Route is the zero value, so a
+// pure-route stream behaves — byte for byte — exactly as it did when the
+// boundaries carried Pair.
+//
+// The split of responsibilities matches the serving architecture: the
+// routing side (internal/serve) measures distances and performs Get/Scan
+// reads against the immutable epoch snapshot, while ApplyOp here is the
+// adjuster half — the serialized mutation and topology adaptation. Point
+// ops adjust the topology exactly like a communication request: a Get or
+// Put of key k from origin o is an access σ=(o,k) and feeds the same
+// transformation and scoped balance repair. Put of an absent key is a
+// tracked join; Delete is a tracked leave; both on a crashed key go through
+// the crash-repair path first.
+
+// OpKind discriminates the request envelope. OpRoute is the zero value.
+type OpKind uint8
+
+const (
+	// OpRoute is a pure communication request: route src→dst, then adjust.
+	OpRoute OpKind = iota
+	// OpGet reads Dst's value (snapshot read in the engine; live read here)
+	// and adjusts the topology for the access like a route.
+	OpGet
+	// OpPut writes Value to Dst — update in place when the key is alive,
+	// tracked join when absent, crash-repair + rejoin when dead — and
+	// adjusts for the access.
+	OpPut
+	// OpDelete removes Dst from the keyspace: a tracked leave (scoped
+	// balance repair included), or a crash repair when the key is dead.
+	OpDelete
+	// OpScan reads up to Limit value-bearing entries from the level-0 run
+	// starting at the first key ≥ Dst. Read-only: no adjustment.
+	OpScan
+)
+
+// String names the op kind for diagnostics.
+func (k OpKind) String() string {
+	switch k {
+	case OpRoute:
+		return "route"
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpDelete:
+		return "delete"
+	case OpScan:
+		return "scan"
+	}
+	return fmt.Sprintf("opkind(%d)", byte(k))
+}
+
+// Op is one request envelope. Src is the accessing origin and Dst the
+// target key (the scan start for OpScan). Value is the OpPut payload;
+// Limit caps OpScan results. Tag is an opaque correlation id the sharded
+// dispatcher uses to stitch multi-leg results back together; the engine
+// carries it through untouched.
+type Op struct {
+	Kind     OpKind
+	Src, Dst int64
+	Value    []byte
+	Limit    int
+	Tag      int64
+}
+
+// RouteOp builds the envelope of a plain communication request.
+func RouteOp(src, dst int64) Op { return Op{Kind: OpRoute, Src: src, Dst: dst} }
+
+// OpResult reports the adjuster half of one applied op: the transformation
+// measures (zero when the op ran no transformation) plus the KV outcome.
+type OpResult struct {
+	AdjustResult
+
+	// Found/Value/Version report a Get against the live graph at apply
+	// time. The engine overwrites the read with the snapshot's (that is the
+	// documented read point); the sync API uses the live read directly.
+	Found   bool
+	Value   []byte
+	Version int64
+
+	// Existed reports whether a Put overwrote an existing live key (false:
+	// the op was a tracked join) and whether a Delete removed anything.
+	Existed bool
+
+	// Entries holds OpScan results read from the live graph at apply time;
+	// like the Get fields, the engine substitutes the snapshot read.
+	Entries []skipgraph.Entry
+}
+
+// ApplyOp applies the adjuster half of one op and returns its result. For
+// OpRoute the semantics are exactly Adjust's, errors included. KV ops are
+// total by design: a Get/Put/Delete whose transform endpoint is missing or
+// dead skips the transformation instead of failing (the access still
+// resolves: a miss, a join, a repair), so a deterministic pipeline never
+// aborts on data racing membership within a batch.
+func (d *DSG) ApplyOp(op Op) (OpResult, error) {
+	switch op.Kind {
+	case OpRoute:
+		r, err := d.Adjust(op.Src, op.Dst)
+		return OpResult{AdjustResult: r}, err
+	case OpGet:
+		var res OpResult
+		if n := d.NodeByID(op.Dst); n != nil && !n.Dead() {
+			if v, ver, ok := d.g.GetValue(n.Key()); ok {
+				res.Found, res.Value, res.Version = true, v, ver
+			}
+		}
+		res.AdjustResult = d.adjustIfPossible(op.Src, op.Dst)
+		return res, nil
+	case OpPut:
+		return d.applyPut(op)
+	case OpDelete:
+		return d.applyDelete(op)
+	case OpScan:
+		limit := op.Limit
+		if limit <= 0 {
+			limit = 1
+		}
+		return OpResult{Entries: d.g.ScanFrom(skipgraph.KeyOf(op.Dst), limit)}, nil
+	}
+	return OpResult{}, fmt.Errorf("core: unknown op kind %d", op.Kind)
+}
+
+// applyPut writes op.Value to op.Dst. An alive key updates in place (the
+// value swap is a touched mutation, so the next publish freezes it); an
+// absent key is a tracked join carrying the value; a crashed key is
+// repaired (corpse spliced out, its record lost — crash-stop) and rejoined
+// fresh. Either way the access then adjusts the topology like a route.
+func (d *DSG) applyPut(op Op) (OpResult, error) {
+	var res OpResult
+	n := d.NodeByID(op.Dst)
+	if n != nil && n.Dead() {
+		d.repairCrashed(n)
+		n = nil
+	}
+	if n != nil {
+		res.Existed = true
+	} else {
+		added, err := d.Add(op.Dst)
+		if err != nil {
+			return res, fmt.Errorf("core: put join %d: %w", op.Dst, err)
+		}
+		n = added
+	}
+	d.kvSeq++
+	d.g.SetValue(n, op.Value, d.kvSeq)
+	res.Version = d.kvSeq
+	res.AdjustResult = d.adjustIfPossible(op.Src, op.Dst)
+	return res, nil
+}
+
+// applyDelete removes op.Dst from the keyspace: a tracked leave for an
+// alive key, the crash-repair splice for a dead one (a deleted-then-crashed
+// key must not resurrect — once removed here, a late crash or repair of the
+// id is a no-op). Deleting an absent key is an idempotent miss. No
+// transformation runs: the pair no longer exists to link.
+func (d *DSG) applyDelete(op Op) (OpResult, error) {
+	var res OpResult
+	n := d.NodeByID(op.Dst)
+	if n == nil {
+		return res, nil
+	}
+	res.Existed = true
+	if n.Dead() {
+		d.repairCrashed(n)
+		return res, nil
+	}
+	if err := d.RemoveNode(op.Dst); err != nil {
+		return res, fmt.Errorf("core: delete %d: %w", op.Dst, err)
+	}
+	return res, nil
+}
+
+// adjustIfPossible runs the access transformation for (src, dst) when both
+// endpoints are alive real nodes and distinct, and returns the zero result
+// otherwise — the KV ops' tolerant twin of Adjust. A missing endpoint is
+// not an error for a data op: the data outcome (miss, join, update) already
+// happened; only the topology adaptation is skipped.
+func (d *DSG) adjustIfPossible(src, dst int64) AdjustResult {
+	u, v := d.NodeByID(src), d.NodeByID(dst)
+	if u == nil || v == nil || u == v || u.Dead() || v.Dead() {
+		return AdjustResult{}
+	}
+	r, err := d.Adjust(src, dst)
+	if err != nil {
+		// Unreachable by construction (all of Adjust's rejections are
+		// pre-checked above), but a scoped-repair invariant failure under
+		// CheckInvariants still surfaces loudly rather than silently.
+		panic(fmt.Sprintf("core: kv adjust (%d,%d): %v", src, dst, err))
+	}
+	return r
+}
+
+// ApplyOps applies a batch of ops in order, each mutation followed by its
+// scoped balance repair, and returns one result per op. This is the
+// adjuster's batch entry point for the op envelope; for a batch of OpRoute
+// ops it is exactly ApplyBatch. A failing op aborts the batch; the applied
+// prefix stays applied and results carries exactly that prefix.
+func (d *DSG) ApplyOps(ops []Op) ([]OpResult, error) {
+	results := make([]OpResult, 0, len(ops))
+	for i, op := range ops {
+		r, err := d.ApplyOp(op)
+		if err != nil {
+			return results, fmt.Errorf("core: batch op %d (%s %d→%d): %w", i, op.Kind, op.Src, op.Dst, err)
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// Restore re-creates one migrated key on this graph: a tracked join plus
+// the value record carried from the donor shard, version preserved. The
+// version clock advances past the restored version so later writes on this
+// graph stay monotonic per key.
+func (d *DSG) Restore(e skipgraph.Entry) error {
+	n, err := d.Add(e.ID)
+	if err != nil {
+		return err
+	}
+	if e.HasValue {
+		if e.Version > d.kvSeq {
+			d.kvSeq = e.Version
+		}
+		d.g.SetValue(n, e.Value, e.Version)
+	}
+	return nil
+}
+
+// KVVersion returns the current value-version clock (the version the most
+// recent write received).
+func (d *DSG) KVVersion() int64 { return d.kvSeq }

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"lsasg/internal/skipgraph"
+)
+
+// Directed tests for the op envelope (op.go): the totality contract of the
+// KV ops, the version clock, and the interplay with crash repair. The
+// randomized coverage lives in kv_fuzz_test.go; these pin each documented
+// branch explicitly.
+
+func TestApplyOpRouteMatchesAdjust(t *testing.T) {
+	d := New(8, Config{A: 4, Seed: 1})
+	d.RepairBalance()
+	res, err := d.ApplyOp(RouteOp(0, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HeightAfter < 1 {
+		t.Errorf("route 0→5 reported height %d", res.HeightAfter)
+	}
+	if _, err := d.ApplyOp(RouteOp(3, 3)); err == nil {
+		t.Error("self-route must keep Adjust's error semantics")
+	}
+	if _, err := d.ApplyOp(Op{Kind: OpKind(99)}); err == nil {
+		t.Error("unknown op kind must fail")
+	}
+}
+
+func TestApplyOpGetHitAndMiss(t *testing.T) {
+	d := New(8, Config{A: 4, Seed: 1})
+	d.RepairBalance()
+
+	// Every key starts valueless: a Get is a miss, yet the access still
+	// adjusts the topology (totality: no error).
+	res, err := d.ApplyOp(Op{Kind: OpGet, Src: 0, Dst: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Error("get of a never-written key must miss")
+	}
+
+	if _, err := d.ApplyOp(Op{Kind: OpPut, Src: 0, Dst: 5, Value: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = d.ApplyOp(Op{Kind: OpGet, Src: 1, Dst: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || !bytes.Equal(res.Value, []byte("x")) || res.Version != 1 {
+		t.Errorf("get after put: found=%v value=%q version=%d", res.Found, res.Value, res.Version)
+	}
+
+	// Crash-stop: the record becomes unreadable the moment the key crashes.
+	if err := d.Crash(5); err != nil {
+		t.Fatal(err)
+	}
+	res, err = d.ApplyOp(Op{Kind: OpGet, Src: 1, Dst: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Error("get of a crashed key must miss")
+	}
+	// The tolerant adjust skipped the dead endpoint: no transformation ran.
+	if res.TransformRounds != 0 {
+		t.Errorf("get of a crashed key ran %d transform rounds", res.TransformRounds)
+	}
+}
+
+func TestApplyPutUpdateJoinAndRepair(t *testing.T) {
+	d := New(8, Config{A: 4, Seed: 1})
+	d.RepairBalance()
+
+	// Update in place: the key is alive, versions are the global clock.
+	r1, err := d.ApplyOp(Op{Kind: OpPut, Src: 0, Dst: 3, Value: []byte("a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Existed || r1.Version != 1 {
+		t.Errorf("put on live key: existed=%v version=%d", r1.Existed, r1.Version)
+	}
+	r2, err := d.ApplyOp(Op{Kind: OpPut, Src: 0, Dst: 3, Value: []byte("b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Existed || r2.Version != 2 {
+		t.Errorf("second put: existed=%v version=%d", r2.Existed, r2.Version)
+	}
+
+	// Tracked join: put of an absent key adds it.
+	if err := d.RemoveNode(6); err != nil {
+		t.Fatal(err)
+	}
+	r3, err := d.ApplyOp(Op{Kind: OpPut, Src: 0, Dst: 6, Value: []byte("c")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Existed || r3.Version != 3 {
+		t.Errorf("put join: existed=%v version=%d", r3.Existed, r3.Version)
+	}
+	if n := d.NodeByID(6); n == nil || n.Dead() {
+		t.Fatal("put join did not re-add key 6")
+	}
+
+	// Crash-repair + rejoin: put of a dead key splices the corpse, loses the
+	// old record (crash-stop), and joins fresh with the new value.
+	if err := d.Crash(3); err != nil {
+		t.Fatal(err)
+	}
+	r4, err := d.ApplyOp(Op{Kind: OpPut, Src: 0, Dst: 3, Value: []byte("d")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.Existed || r4.Version != 4 {
+		t.Errorf("put on crashed key: existed=%v version=%d", r4.Existed, r4.Version)
+	}
+	ids := d.DrainCrashRepairs()
+	if len(ids) != 1 || ids[0] != 3 {
+		t.Errorf("crash-repair log after put-repair: %v", ids)
+	}
+	g, err := d.ApplyOp(Op{Kind: OpGet, Src: 0, Dst: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Found || !bytes.Equal(g.Value, []byte("d")) {
+		t.Errorf("read after repair-rejoin: found=%v value=%q", g.Found, g.Value)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyDeleteLeaveMissAndCrashRepair(t *testing.T) {
+	d := New(8, Config{A: 4, Seed: 1})
+	d.RepairBalance()
+	if _, err := d.ApplyOp(Op{Kind: OpPut, Src: 0, Dst: 4, Value: []byte("v")}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tracked leave.
+	r, err := d.ApplyOp(Op{Kind: OpDelete, Src: 0, Dst: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Existed || d.NodeByID(4) != nil {
+		t.Errorf("delete of live key: existed=%v node=%v", r.Existed, d.NodeByID(4))
+	}
+
+	// Idempotent miss.
+	r, err = d.ApplyOp(Op{Kind: OpDelete, Src: 0, Dst: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Existed {
+		t.Error("delete of absent key must report existed=false")
+	}
+
+	// Delete of a dead key is the crash-repair splice.
+	if err := d.Crash(7); err != nil {
+		t.Fatal(err)
+	}
+	r, err = d.ApplyOp(Op{Kind: OpDelete, Src: 0, Dst: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Existed || d.NodeByID(7) != nil {
+		t.Errorf("delete of crashed key: existed=%v node=%v", r.Existed, d.NodeByID(7))
+	}
+	if ids := d.DrainCrashRepairs(); len(ids) != 1 || ids[0] != 7 {
+		t.Errorf("crash-repair log after delete-repair: %v", ids)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeletedThenCrashedNoResurrect pins the resurrection guard: once a key
+// is deleted — whether it was alive or already a corpse at delete time — a
+// late RepairCrashedID of that id must decline and the key must stay gone.
+func TestDeletedThenCrashedNoResurrect(t *testing.T) {
+	d := New(8, Config{A: 4, Seed: 1})
+	d.RepairBalance()
+	if _, err := d.ApplyOp(Op{Kind: OpPut, Src: 0, Dst: 5, Value: []byte("doomed")}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash first, then delete: applyDelete takes the repair path.
+	if err := d.Crash(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ApplyOp(Op{Kind: OpDelete, Src: 0, Dst: 5}); err != nil {
+		t.Fatal(err)
+	}
+	d.DrainCrashRepairs()
+	if d.RepairCrashedID(5) {
+		t.Error("repair of a deleted key must decline")
+	}
+	if d.NodeByID(5) != nil {
+		t.Fatal("deleted-then-repaired key resurrected")
+	}
+
+	// Delete while alive, then probe the id: same guarantee.
+	if _, err := d.ApplyOp(Op{Kind: OpDelete, Src: 0, Dst: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if d.RepairCrashedID(2) {
+		t.Error("repair of a departed key must decline")
+	}
+	if d.NodeByID(2) != nil {
+		t.Fatal("departed key resurrected by a stale repair")
+	}
+
+	// Neither key reappears in a full scan, and the graph stays valid.
+	for _, e := range d.Graph().ScanFrom(skipgraph.KeyOf(0), 16) {
+		if e.ID == 5 || e.ID == 2 {
+			t.Errorf("deleted key %d visible in scan", e.ID)
+		}
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyOpScanReadsSortedLiveRecords(t *testing.T) {
+	d := New(8, Config{A: 4, Seed: 1})
+	d.RepairBalance()
+	for _, k := range []int64{6, 1, 4} {
+		if _, err := d.ApplyOp(Op{Kind: OpPut, Src: 0, Dst: k, Value: []byte{byte(k)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Crash(4); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := d.ApplyOp(Op{Kind: OpScan, Dst: 0, Limit: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 2 || res.Entries[0].ID != 1 || res.Entries[1].ID != 6 {
+		t.Fatalf("scan = %v, want keys [1 6] (crashed 4 skipped, valueless skipped)", res.Entries)
+	}
+
+	// Limit truncation and start offset; Limit ≤ 0 is clamped to 1.
+	res, _ = d.ApplyOp(Op{Kind: OpScan, Dst: 2, Limit: 1})
+	if len(res.Entries) != 1 || res.Entries[0].ID != 6 {
+		t.Fatalf("scan from 2 limit 1 = %v, want [6]", res.Entries)
+	}
+	res, _ = d.ApplyOp(Op{Kind: OpScan, Dst: 0, Limit: 0})
+	if len(res.Entries) != 1 {
+		t.Fatalf("scan with limit 0 must clamp to 1, got %v", res.Entries)
+	}
+}
+
+func TestApplyOpsPrefixOnError(t *testing.T) {
+	d := New(8, Config{A: 4, Seed: 1})
+	d.RepairBalance()
+	if err := d.RemoveNode(6); err != nil {
+		t.Fatal(err)
+	}
+	results, err := d.ApplyOps([]Op{
+		{Kind: OpPut, Src: 0, Dst: 1, Value: []byte("x")},
+		RouteOp(0, 6), // unknown node: routes keep strict errors
+		{Kind: OpPut, Src: 0, Dst: 2, Value: []byte("y")},
+	})
+	if err == nil {
+		t.Fatal("route to a removed node must abort the batch")
+	}
+	if !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("abort error = %v, want ErrUnknownNode", err)
+	}
+	if len(results) != 1 || results[0].Version != 1 {
+		t.Errorf("applied prefix = %d results, want exactly the put before the failure", len(results))
+	}
+}
+
+func TestRestorePreservesVersionAndClock(t *testing.T) {
+	d := New(8, Config{A: 4, Seed: 1})
+	d.RepairBalance()
+	if err := d.RemoveNode(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RemoveNode(5); err != nil {
+		t.Fatal(err)
+	}
+
+	// A migrated record re-joins with its donor-side version intact, and the
+	// clock advances past it so later writes stay monotonic.
+	if err := d.Restore(skipgraph.Entry{ID: 3, Value: []byte("moved"), Version: 41, HasValue: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.KVVersion(); got != 41 {
+		t.Errorf("clock after restore = %d, want 41", got)
+	}
+	g, err := d.ApplyOp(Op{Kind: OpGet, Src: 0, Dst: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Found || !bytes.Equal(g.Value, []byte("moved")) || g.Version != 41 {
+		t.Errorf("restored read: found=%v value=%q version=%d", g.Found, g.Value, g.Version)
+	}
+
+	// A valueless migrated key restores as a bare member.
+	if err := d.Restore(skipgraph.Entry{ID: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if n := d.NodeByID(5); n == nil {
+		t.Fatal("valueless restore did not re-add the key")
+	}
+	if res, _ := d.ApplyOp(Op{Kind: OpGet, Src: 0, Dst: 5}); res.Found {
+		t.Error("valueless restore must not invent a record")
+	}
+
+	// Next write continues past the restored version.
+	w, err := d.ApplyOp(Op{Kind: OpPut, Src: 0, Dst: 1, Value: []byte("z")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Version != 42 {
+		t.Errorf("write after restore got version %d, want 42", w.Version)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -121,6 +121,11 @@ type DSG struct {
 	nextDummyID int64
 	dummyCount  int
 
+	// kvSeq is the value-version clock: each applied Put gets the next
+	// version, and migration restores bump it past carried versions so
+	// per-key versions stay monotonic across shard moves.
+	kvSeq int64
+
 	// Cumulative a-balance repair work (dummy insertions/removals by
 	// RepairBalance), read via RepairStats by the trace runner.
 	repairInserted int

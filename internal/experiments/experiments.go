@@ -30,20 +30,26 @@ type Scale struct {
 	// Shards are the shard counts swept by the partitioned-serving study
 	// (E18); the -shards flag of cmd/dsgexp and cmd/dsgbench overrides them.
 	Shards []int
+	// Mixes are the KV operation mixes swept by the KV-workload study
+	// (E19), as workload.ParseMix inputs; the -mix flag of cmd/dsgexp and
+	// cmd/dsgbench overrides them.
+	Mixes []string
 }
 
 // Full is the scale used by cmd/dsgbench.
 func Full() Scale {
 	return Scale{Sizes: []int{64, 128, 256}, Requests: 2000, Trials: 20, Seed: 1,
 		LocalitySizes: []int{1024, 4096, 16384},
-		Shards:        []int{1, 2, 4, 8}}
+		Shards:        []int{1, 2, 4, 8},
+		Mixes:         []string{"a", "b", "e", "crud"}}
 }
 
 // Quick is a fast scale for tests and smoke runs.
 func Quick() Scale {
 	return Scale{Sizes: []int{32, 64}, Requests: 300, Trials: 5, Seed: 1,
 		LocalitySizes: []int{256, 1024},
-		Shards:        []int{1, 2, 4}}
+		Shards:        []int{1, 2, 4},
+		Mixes:         []string{"a", "b", "e"}}
 }
 
 // E1AMFQuality validates Lemma 1: the AMF output's rank error stays within

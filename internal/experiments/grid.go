@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -180,4 +181,35 @@ func writeJSON(path string, v interface{}) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// AppendTrajectory appends one grid summary to the perf-trajectory file at
+// path: a JSON array of GridSummary documents, oldest first — the committed
+// record CI extends on every run so performance re-anchors read from data
+// instead of commit messages. A missing or empty file starts a new
+// trajectory; a legacy single-summary file is wrapped into an array first.
+func AppendTrajectory(path string, s *GridSummary) error {
+	var trajectory []json.RawMessage
+	data, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err) || (err == nil && len(bytes.TrimSpace(data)) == 0):
+		// new trajectory
+	case err != nil:
+		return fmt.Errorf("experiments: reading trajectory %s: %w", path, err)
+	default:
+		if uerr := json.Unmarshal(data, &trajectory); uerr != nil {
+			// A pre-trajectory file holding one bare summary: wrap it.
+			var one map[string]json.RawMessage
+			if json.Unmarshal(data, &one) != nil {
+				return fmt.Errorf("experiments: trajectory %s is neither an array nor a summary: %w", path, uerr)
+			}
+			trajectory = []json.RawMessage{json.RawMessage(bytes.TrimSpace(data))}
+		}
+	}
+	entry, err := json.Marshal(s)
+	if err != nil {
+		return err
+	}
+	trajectory = append(trajectory, entry)
+	return writeJSON(path, trajectory)
 }

@@ -177,6 +177,44 @@ func TestShardedGoldenCSV(t *testing.T) {
 	}
 }
 
+// TestKVGoldenCSV pins the KV data-plane contract: with a fixed seed, mix
+// list, and shard sweep, `dsgexp -only E19 -quick -seed 1` produces
+// byte-stable CSV output in every column except the wall-clock "req/s"
+// column, which is masked on both sides of the comparison. In particular
+// the hit rates, put-insert counts, scan lengths, and rebalancer activity
+// are exact — the mix generator, the deterministic pipeline, and the
+// cross-shard scan stitching are all deterministic for a fixed seed.
+// Regenerate with `go test ./internal/experiments -run Golden -update`
+// after an intentional change.
+func TestKVGoldenCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	dir := t.TempDir()
+	gridQuickSeed1(t, dir, "E19")
+	raw, err := os.ReadFile(filepath.Join(dir, "E19-kv-workload.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := normalizeWallClock(t, raw, "req/s")
+	golden := filepath.Join("testdata", "E19-kv-workload.quick-seed1.csv")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("E19 CSV drifted from golden file %s:\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+}
+
 // TestCrashGoldenCSV pins the availability-under-failure contract: with a
 // fixed seed, `dsgexp -only E20 -quick -seed 1` produces byte-stable CSV
 // output in every column except the wall-clock "events/s" column, which is
@@ -276,6 +314,60 @@ func TestGridOutputs(t *testing.T) {
 	}
 	if rep.ID != "E12" || rep.PaperRef == "" || rep.Table == nil || rep.Table.NumRows() != rep.Rows {
 		t.Errorf("report on disk = %+v", rep)
+	}
+}
+
+// TestAppendTrajectory covers the perf-trajectory file's lifecycle: created
+// on first append, extended in order, and a legacy single-summary file is
+// wrapped into an array.
+func TestAppendTrajectory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_dsgexp.json")
+	read := func() []GridSummary {
+		t.Helper()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tr []GridSummary
+		if err := json.Unmarshal(data, &tr); err != nil {
+			t.Fatalf("trajectory is not a summary array: %v", err)
+		}
+		return tr
+	}
+
+	if err := AppendTrajectory(path, &GridSummary{Tool: "dsgexp", ScaleName: "quick", BaseSeed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if tr := read(); len(tr) != 1 || tr[0].BaseSeed != 1 {
+		t.Fatalf("first append: %+v", tr)
+	}
+	if err := AppendTrajectory(path, &GridSummary{Tool: "dsgexp", ScaleName: "quick", BaseSeed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if tr := read(); len(tr) != 2 || tr[0].BaseSeed != 1 || tr[1].BaseSeed != 2 {
+		t.Fatalf("second append: %+v", tr)
+	}
+
+	// Legacy file: one bare summary object becomes the trajectory's head.
+	legacy := filepath.Join(t.TempDir(), "BENCH_dsgexp.json")
+	if err := os.WriteFile(legacy, []byte(`{"tool":"dsgexp","base_seed":7}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendTrajectory(legacy, &GridSummary{Tool: "dsgexp", BaseSeed: 8}); err != nil {
+		t.Fatal(err)
+	}
+	path = legacy
+	if tr := read(); len(tr) != 2 || tr[0].BaseSeed != 7 || tr[1].BaseSeed != 8 {
+		t.Fatalf("legacy upgrade: %+v", tr)
+	}
+
+	// Garbage neither array nor object is refused, not clobbered.
+	bad := filepath.Join(t.TempDir(), "BENCH_dsgexp.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendTrajectory(bad, &GridSummary{}); err == nil {
+		t.Error("appending to a corrupt trajectory must fail")
 	}
 }
 

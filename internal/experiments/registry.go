@@ -13,8 +13,8 @@ import (
 // paper), and the runner itself. The registry is the single source of truth
 // consumed by cmd/dsgexp, cmd/dsgbench, the tests, and docs/EXPERIMENTS.md.
 type Experiment struct {
-	// ID is the stable identifier (E1..E18, E20) used for filtering and file
-	// names. E19 is intentionally unassigned.
+	// ID is the stable identifier (E1..E20) used for filtering and file
+	// names.
 	ID string
 	// Name is a short slug (lowercase, hyphenated) for output files.
 	Name string
@@ -27,7 +27,7 @@ type Experiment struct {
 	Run func(Scale) *stats.Table
 }
 
-// Registry returns every registered experiment in canonical (E1..E18, E20)
+// Registry returns every registered experiment in canonical (E1..E20)
 // order.
 func Registry() []Experiment {
 	return []Experiment{
@@ -156,6 +156,13 @@ func Registry() []Experiment {
 			Description: "Partitioned serving: throughput scales with shard count while cross-shard routes stay two-leg and a skew-driven rebalancer levels hot shards.",
 			PaperRef:    "Aspnes-Shah partitioned key space (Skip Graphs, SODA 2003); Interlaced decentralized partitions; §III serving model",
 			Run:         E18ShardedServing,
+		},
+		{
+			ID:          "E19",
+			Name:        "kv-workload",
+			Description: "KV data plane: YCSB-style get/put/delete/scan mixes served through the sharded pipeline, with put-joins, delete-leaves, and cross-shard scan stitching.",
+			PaperRef:    "§III serving model (accesses as σ=(o,k)); Aspnes-Shah resource location (Skip Graphs, SODA 2003); YCSB core workloads (SoCC 2010)",
+			Run:         E19KVWorkload,
 		},
 		{
 			ID:          "E20",

@@ -10,18 +10,14 @@ import (
 
 func TestRegistryWellFormed(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 19 {
-		t.Fatalf("registry has %d experiments, want 19", len(reg))
+	if len(reg) != 20 {
+		t.Fatalf("registry has %d experiments, want 20", len(reg))
 	}
-	// E1..E18 are contiguous; E19 is intentionally unassigned and the
-	// crash-availability experiment carries E20.
+	// E1..E20 are contiguous.
 	seenID := map[string]bool{}
 	seenName := map[string]bool{}
 	for i, e := range reg {
 		want := "E" + strconv.Itoa(i+1)
-		if i == len(reg)-1 {
-			want = "E20"
-		}
 		if e.ID != want {
 			t.Errorf("entry %d has id %q, want %s", i, e.ID, want)
 		}
@@ -47,14 +43,14 @@ func TestByIDAndSelect(t *testing.T) {
 	}
 
 	all, err := Select("")
-	if err != nil || len(all) != 19 {
+	if err != nil || len(all) != 20 {
 		t.Errorf("Select(\"\") = %d experiments, err %v", len(all), err)
 	}
 	if _, ok := ByID("E20"); !ok {
 		t.Error("ByID(E20) should resolve the crash-availability experiment")
 	}
-	if _, ok := ByID("E19"); ok {
-		t.Error("ByID(E19) should fail: E19 is intentionally unassigned")
+	if e, ok := ByID("E19"); !ok || e.Name != "kv-workload" {
+		t.Errorf("ByID(E19) = %v, %v; should resolve the KV-workload experiment", e, ok)
 	}
 	some, err := Select(" e8, E5 ")
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"lsasg/internal/core"
 	"lsasg/internal/shard"
 	"lsasg/internal/stats"
 	"lsasg/internal/workload"
@@ -69,11 +70,11 @@ func E18ShardedServing(sc Scale) *stats.Table {
 			if err != nil {
 				panic(err)
 			}
-			in := make(chan shard.Request)
+			in := make(chan core.Op)
 			go func() {
 				defer close(in)
 				for _, r := range reqs {
-					in <- shard.Request{Src: int64(r.Src), Dst: int64(r.Dst)}
+					in <- core.RouteOp(int64(r.Src), int64(r.Dst))
 				}
 			}()
 			start := time.Now()

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -36,6 +37,12 @@ type Config struct {
 	// leg whose endpoint migrated away (or died) between route and
 	// adjustment is expected, not an engine fault. It also covers crash
 	// submissions for ids that already migrated off the shard.
+	//
+	// In the deterministic Serve pipeline it extends the same tolerance to
+	// route ops: a route leg whose endpoint a Delete removed earlier in the
+	// stream (the data plane mutates membership mid-window) records a
+	// RouteMiss / zero adjustment instead of aborting the run. Error-free
+	// streams behave identically with or without it.
 	TolerateAdjustMiss bool
 }
 
@@ -78,16 +85,36 @@ func (s *Snapshot) Route(src, dst int64) (skipgraph.RouteResult, error) {
 	return s.Graph.RouteKeys(skipgraph.KeyOf(src), skipgraph.KeyOf(dst))
 }
 
+// Get reads a key's value record from the snapshot — lock-free, no
+// coordination with the adjuster.
+func (s *Snapshot) Get(key int64) ([]byte, int64, bool) {
+	return s.Graph.GetValue(skipgraph.KeyOf(key))
+}
+
+// Scan reads up to limit value-bearing entries from the snapshot's level-0
+// run, starting at the first key ≥ start. Lock-free like Get.
+func (s *Snapshot) Scan(start int64, limit int) []skipgraph.Entry {
+	if limit <= 0 {
+		limit = 1
+	}
+	return s.Graph.ScanFrom(skipgraph.KeyOf(start), limit)
+}
+
 // Result reports one request served by the deterministic Serve pipeline:
-// the routing half measured against the batch's snapshot, the adjustment
-// half from the serialized transformation.
+// the routing half (and any Get/Scan read) measured against the batch's
+// snapshot, the adjustment half from the serialized mutation.
 type Result struct {
-	Seq   int64     // 0-based position in the request sequence
-	Pair  core.Pair // the request
-	Epoch int64     // snapshot epoch the request was routed against
+	Seq   int64   // 0-based position in the request sequence
+	Op    core.Op // the request envelope
+	Epoch int64   // snapshot epoch the request was routed against
 
 	RouteDistance int // d_S(σ) in the snapshot
 	RouteHops     int
+	// RouteMiss marks a KV op whose access path could not be measured in
+	// the snapshot (an endpoint not yet published or already gone — e.g. a
+	// Put of a brand-new key routes before its join is visible). The data
+	// outcome is unaffected; only the distance sample is absent.
+	RouteMiss bool
 	// AdjustLag is the number of adjustments pending when the request was
 	// routed (its own included): requests route against the snapshot of the
 	// previous batch, so the lag is the request's 1-based position within
@@ -100,6 +127,14 @@ type Result struct {
 	HeightAfter     int
 	RepairInserted  int
 	RepairRemoved   int
+
+	// KV outcome. Get and Scan report the snapshot read (the epoch above is
+	// the read point); Put and Delete report the adjuster's outcome.
+	Found   bool              // OpGet: key present with a value
+	Value   []byte            // OpGet: the value read (immutable)
+	Version int64             // OpGet: version read; OpPut: version written
+	Existed bool              // OpPut: overwrote; OpDelete: removed something
+	Entries []skipgraph.Entry // OpScan: the entries read
 }
 
 // Stats aggregates one Serve run. Every field is deterministic for a fixed
@@ -117,6 +152,20 @@ type Stats struct {
 	MaxAdjustLag         int
 	RepairInserted       int64
 	RepairRemoved        int64
+
+	// KV op counters. Gets/Puts/Deletes/Scans count ops by kind (Requests
+	// counts every op, routes included); hits and inserts split the outcomes;
+	// ScannedEntries totals entries returned across scans; RouteMisses counts
+	// KV ops whose access path was unmeasurable in the snapshot.
+	Gets           int64
+	GetHits        int64
+	Puts           int64
+	PutInserts     int64 // puts that joined a new key (vs updated in place)
+	Deletes        int64
+	DeleteHits     int64
+	Scans          int64
+	ScannedEntries int64
+	RouteMisses    int64
 
 	HeightAfter int // live-graph height after the final batch
 }
@@ -203,6 +252,10 @@ const (
 type task struct {
 	op       taskOp
 	src, dst int64
+	// entry, when non-nil on an opJoin, carries a migrated key's value
+	// record: the join restores the value (version preserved) instead of
+	// creating a bare node.
+	entry *skipgraph.Entry
 	// done, when non-nil, receives the task's apply error (nil on success);
 	// for opBarrier it is closed after the batch's snapshot publication.
 	done chan error
@@ -233,21 +286,47 @@ func (e *Engine) publish() {
 	e.epochs.Add(1)
 }
 
-// Serve consumes pairs until the channel closes (or ctx is cancelled) and
-// returns the aggregate statistics. Requests are processed in batches of
-// BatchSize: the whole batch is routed in parallel by Parallelism workers
-// against the snapshot published after the previous batch, while the single
-// adjuster concurrently applies the batch's transformations in sequence
-// order to the live graph; then the next snapshot is published. Batches are
-// filled to BatchSize (blocking on the channel) so the batch schedule — and
-// with it every statistic — is a pure function of the request sequence,
-// independent of Parallelism and of producer timing. An invalid pair aborts
-// with an error; already-applied batches stay applied.
+// ApplyOpIdle applies one op directly to the live graph and publishes a
+// fresh snapshot — the synchronous single-op entry point for an idle engine
+// (neither Serve nor free-running mode active). The sharded service's sync
+// KV surface is built on it: one op, applied and visible, before the call
+// returns.
+func (e *Engine) ApplyOpIdle(op core.Op) (core.OpResult, error) {
+	e.mu.Lock()
+	if e.started || e.serving {
+		e.mu.Unlock()
+		return core.OpResult{}, fmt.Errorf("serve: ApplyOpIdle needs an idle engine (no Serve, no Start)")
+	}
+	e.serving = true
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		e.serving = false
+		e.mu.Unlock()
+	}()
+	res, err := e.dsg.ApplyOp(op)
+	e.publish()
+	return res, err
+}
+
+// Serve consumes op envelopes until the channel closes (or ctx is
+// cancelled) and returns the aggregate statistics. Requests are processed
+// in batches of BatchSize: the whole batch is routed in parallel by
+// Parallelism workers against the snapshot published after the previous
+// batch — Get and Scan take their reads from that same snapshot, lock-free —
+// while the single adjuster concurrently applies the batch's mutations in
+// sequence order to the live graph (KV writes flow through the same
+// transformation and scoped repair as routes; see core.ApplyOp); then the
+// next snapshot is published. Batches are filled to BatchSize (blocking on
+// the channel) so the batch schedule — and with it every statistic — is a
+// pure function of the request sequence, independent of Parallelism and of
+// producer timing. An invalid route op aborts with an error (KV ops are
+// total and never do); already-applied batches stay applied.
 //
 // Serve refuses to run on an engine in free-running mode (Start), and
 // rejects overlapping Serve calls — both would race the adjuster over the
 // live graph. Sequential Serve calls on one engine are fine.
-func (e *Engine) Serve(ctx context.Context, in <-chan core.Pair) (Stats, error) {
+func (e *Engine) Serve(ctx context.Context, in <-chan core.Op) (Stats, error) {
 	e.mu.Lock()
 	if e.started {
 		e.mu.Unlock()
@@ -273,8 +352,8 @@ func (e *Engine) Serve(ctx context.Context, in <-chan core.Pair) (Stats, error) 
 		return st, err
 	}
 	k := e.cfg.batchSize()
-	batch := make([]core.Pair, 0, k)
-	routes := make([]skipgraph.RouteResult, k)
+	batch := make([]core.Op, 0, k)
+	routes := make([]routeOut, k)
 	seq := int64(0)
 	for {
 		batch = batch[:0]
@@ -295,8 +374,8 @@ func (e *Engine) Serve(ctx context.Context, in <-chan core.Pair) (Stats, error) 
 		if len(batch) > 0 {
 			snap := e.snap.Load()
 			adjCh := make(chan adjOutcome, 1)
-			go func(pairs []core.Pair) {
-				rs, err := e.dsg.ApplyBatch(pairs)
+			go func(ops []core.Op) {
+				rs, err := e.applyOps(ops)
 				adjCh <- adjOutcome{results: rs, err: err}
 			}(batch)
 			routeErr := e.routeBatch(snap, batch, routes)
@@ -313,10 +392,11 @@ func (e *Engine) Serve(ctx context.Context, in <-chan core.Pair) (Stats, error) 
 			for i := range batch {
 				r := Result{
 					Seq:             seq,
-					Pair:            batch[i],
+					Op:              batch[i],
 					Epoch:           snap.Epoch,
-					RouteDistance:   routes[i].Distance(),
-					RouteHops:       routes[i].Hops(),
+					RouteDistance:   routes[i].route.Distance(),
+					RouteHops:       routes[i].route.Hops(),
+					RouteMiss:       routes[i].miss,
 					AdjustLag:       i + 1,
 					TransformRounds: adj.results[i].TransformRounds,
 					DirectLevel:     adj.results[i].DirectLevel,
@@ -324,6 +404,16 @@ func (e *Engine) Serve(ctx context.Context, in <-chan core.Pair) (Stats, error) 
 					HeightAfter:     adj.results[i].HeightAfter,
 					RepairInserted:  adj.results[i].RepairInserted,
 					RepairRemoved:   adj.results[i].RepairRemoved,
+					Version:         adj.results[i].Version,
+					Existed:         adj.results[i].Existed,
+				}
+				switch batch[i].Kind {
+				case core.OpGet:
+					// The documented read point is the snapshot the op routed
+					// against, not the live graph mid-batch.
+					r.Found, r.Value, r.Version = routes[i].found, routes[i].val, routes[i].ver
+				case core.OpScan:
+					r.Entries = routes[i].entries
 				}
 				seq++
 				st.accumulate(r)
@@ -356,26 +446,118 @@ func (s *Stats) accumulate(r Result) {
 	}
 	s.RepairInserted += int64(r.RepairInserted)
 	s.RepairRemoved += int64(r.RepairRemoved)
+	if r.RouteMiss {
+		s.RouteMisses++
+	}
+	switch r.Op.Kind {
+	case core.OpGet:
+		s.Gets++
+		if r.Found {
+			s.GetHits++
+		}
+	case core.OpPut:
+		s.Puts++
+		if !r.Existed {
+			s.PutInserts++
+		}
+	case core.OpDelete:
+		s.Deletes++
+		if r.Existed {
+			s.DeleteHits++
+		}
+	case core.OpScan:
+		s.Scans++
+		s.ScannedEntries += int64(len(r.Entries))
+	}
 }
 
 type adjOutcome struct {
-	results []core.AdjustResult
+	results []core.OpResult
 	err     error
 }
 
-// routeBatch routes every pair of the batch against the snapshot, fanning
+// applyOps is the adjuster half of one deterministic batch. Without
+// TolerateAdjustMiss it is exactly core.ApplyOps (strict, legacy error
+// text). With it, a route op that fails on a vanished or crashed endpoint —
+// the data plane removed it earlier in the stream — yields a zero result
+// and the batch continues, mirroring the free-running adjuster's tolerance.
+func (e *Engine) applyOps(ops []core.Op) ([]core.OpResult, error) {
+	if !e.cfg.TolerateAdjustMiss {
+		return e.dsg.ApplyOps(ops)
+	}
+	results := make([]core.OpResult, 0, len(ops))
+	for i, op := range ops {
+		r, err := e.dsg.ApplyOp(op)
+		if err != nil {
+			if op.Kind == core.OpRoute && (errors.Is(err, core.ErrUnknownNode) || errors.Is(err, core.ErrCrashedNode)) {
+				results = append(results, core.OpResult{})
+				continue
+			}
+			return results, fmt.Errorf("core: batch op %d (%s %d→%d): %w", i, op.Kind, op.Src, op.Dst, err)
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// routeOut is the routing-side outcome of one op: the measured access path
+// plus any snapshot read (Get/Scan).
+type routeOut struct {
+	route   skipgraph.RouteResult
+	miss    bool
+	found   bool
+	val     []byte
+	ver     int64
+	entries []skipgraph.Entry
+}
+
+// routeOp performs the snapshot half of one op. OpRoute keeps the strict
+// legacy contract — a route failure aborts the batch. KV point ops tolerate
+// an unmeasurable access path (the endpoint may be joining in this very
+// batch, or already departed) and record a miss instead; Get reads the
+// value from the snapshot; Scan is a pure snapshot read with no path.
+func (e *Engine) routeOp(snap *Snapshot, op core.Op) (routeOut, error) {
+	var out routeOut
+	switch op.Kind {
+	case core.OpRoute:
+		r, err := snap.Route(op.Src, op.Dst)
+		if err != nil {
+			if e.cfg.TolerateAdjustMiss {
+				out.miss = true
+				return out, nil
+			}
+			return out, fmt.Errorf("serve: routing %d→%d (epoch %d): %w", op.Src, op.Dst, snap.Epoch, err)
+		}
+		out.route = r
+		return out, nil
+	case core.OpScan:
+		out.entries = snap.Scan(op.Dst, op.Limit)
+		return out, nil
+	}
+	if r, err := snap.Route(op.Src, op.Dst); err == nil {
+		out.route = r
+	} else {
+		out.miss = true
+	}
+	if op.Kind == core.OpGet {
+		out.val, out.ver, out.found = snap.Get(op.Dst)
+	}
+	return out, nil
+}
+
+// routeBatch routes every op of the batch against the snapshot, fanning
 // the work over the configured number of workers. results[i] corresponds to
 // batch[i], so the outcome is independent of worker scheduling.
-func (e *Engine) routeBatch(snap *Snapshot, batch []core.Pair, results []skipgraph.RouteResult) error {
+func (e *Engine) routeBatch(snap *Snapshot, batch []core.Op, results []routeOut) error {
 	p := e.cfg.parallelism()
 	if p > len(batch) {
 		p = len(batch)
 	}
 	if p == 1 {
-		for i, pair := range batch {
-			r, err := snap.Route(pair.Src, pair.Dst)
+		for i, op := range batch {
+			r, err := e.routeOp(snap, op)
 			if err != nil {
-				return fmt.Errorf("serve: routing %d→%d (epoch %d): %w", pair.Src, pair.Dst, snap.Epoch, err)
+				return err
 			}
 			results[i] = r
 		}
@@ -396,12 +578,9 @@ func (e *Engine) routeBatch(snap *Snapshot, batch []core.Pair, results []skipgra
 				if i >= len(batch) {
 					return
 				}
-				r, err := snap.Route(batch[i].Src, batch[i].Dst)
+				r, err := e.routeOp(snap, batch[i])
 				if err != nil {
-					errOnce.Do(func() {
-						outErr = fmt.Errorf("serve: routing %d→%d (epoch %d): %w",
-							batch[i].Src, batch[i].Dst, snap.Epoch, err)
-					})
+					errOnce.Do(func() { outErr = err })
 					return
 				}
 				results[i] = r

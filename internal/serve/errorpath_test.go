@@ -136,8 +136,8 @@ func TestServeEarlyCancel(t *testing.T) {
 	e := New(d, Config{BatchSize: 4})
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	ch := make(chan core.Pair, 1)
-	ch <- core.Pair{Src: 1, Dst: 2}
+	ch := make(chan core.Op, 1)
+	ch <- core.RouteOp(1, 2)
 	close(ch)
 	st, err := e.Serve(ctx, ch)
 	if !errors.Is(err, context.Canceled) {
@@ -147,8 +147,8 @@ func TestServeEarlyCancel(t *testing.T) {
 		t.Errorf("served %d requests under a dead context, want 0", st.Requests)
 	}
 	// The engine was released: a fresh healthy run must work.
-	ch2 := make(chan core.Pair, 1)
-	ch2 <- core.Pair{Src: 1, Dst: 2}
+	ch2 := make(chan core.Op, 1)
+	ch2 <- core.RouteOp(1, 2)
 	close(ch2)
 	if _, err := e.Serve(context.Background(), ch2); err != nil {
 		t.Fatalf("reuse after early cancel: %v", err)

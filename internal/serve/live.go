@@ -238,7 +238,11 @@ func (e *Engine) applyLive(batch []task) {
 				e.applied.Add(1)
 			}
 		case opJoin:
-			_, err = e.dsg.Add(t.src)
+			if t.entry != nil {
+				err = e.dsg.Restore(*t.entry)
+			} else {
+				_, err = e.dsg.Add(t.src)
+			}
 			if err == nil {
 				e.joins.Add(1)
 			}

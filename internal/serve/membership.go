@@ -1,27 +1,50 @@
 package serve
 
-import "fmt"
+import (
+	"fmt"
+
+	"lsasg/internal/skipgraph"
+)
 
 // This file is the membership-migration surface used by the sharded service
 // (internal/shard): a rebalancer moves a contiguous key range between two
 // engines' graphs as a tracked leave/join batch. Each engine mode has its
-// own entry point — ApplyMembershipBatch for an idle engine (the
+// own entry point — ApplyMigrationBatch for an idle engine (the
 // deterministic pipeline migrates at inter-window barriers) and
-// MigrateMembership for a running one (tasks serialize through the adjuster
+// MigrateEntries for a running one (tasks serialize through the adjuster
 // like all other mutation, but unlike SubmitJoin/SubmitLeave they are never
 // shed: a dropped migration op would strand a key in zero or two shards).
+// Joins are skipgraph.Entry records so a migrated key arrives with its
+// value and version intact; the int64-only wrappers remain for callers
+// moving bare topology (tests, churn drivers).
 
-// ApplyMembershipBatch applies joins then leaves directly to the live graph
-// and publishes one fresh snapshot. It requires an idle engine — neither
-// Serve nor free-running mode active — because it mutates outside the
-// adjuster. Failing ids are skipped (the rest of the batch still applies)
-// and the first error is returned; the snapshot publishes either way so the
-// routing side always observes whatever did apply.
+// bareEntries lifts plain ids into value-less entries.
+func bareEntries(ids []int64) []skipgraph.Entry {
+	es := make([]skipgraph.Entry, len(ids))
+	for i, id := range ids {
+		es[i] = skipgraph.Entry{ID: id}
+	}
+	return es
+}
+
+// ApplyMembershipBatch applies value-less joins then leaves on an idle
+// engine; see ApplyMigrationBatch.
 func (e *Engine) ApplyMembershipBatch(joins, leaves []int64) error {
+	return e.ApplyMigrationBatch(bareEntries(joins), leaves)
+}
+
+// ApplyMigrationBatch applies joins (with carried value records) then
+// leaves directly to the live graph and publishes one fresh snapshot. It
+// requires an idle engine — neither Serve nor free-running mode active —
+// because it mutates outside the adjuster. Failing entries are skipped (the
+// rest of the batch still applies) and the first error is returned; the
+// snapshot publishes either way so the routing side always observes
+// whatever did apply.
+func (e *Engine) ApplyMigrationBatch(joins []skipgraph.Entry, leaves []int64) error {
 	e.mu.Lock()
 	if e.started || e.serving {
 		e.mu.Unlock()
-		return fmt.Errorf("serve: ApplyMembershipBatch needs an idle engine (no Serve, no Start)")
+		return fmt.Errorf("serve: ApplyMigrationBatch needs an idle engine (no Serve, no Start)")
 	}
 	e.serving = true // reserve the engine against overlapping mutation
 	e.mu.Unlock()
@@ -32,8 +55,8 @@ func (e *Engine) ApplyMembershipBatch(joins, leaves []int64) error {
 	}()
 
 	var firstErr error
-	for _, id := range joins {
-		if _, err := e.dsg.Add(id); err != nil {
+	for _, en := range joins {
+		if err := e.dsg.Restore(en); err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
@@ -54,29 +77,36 @@ func (e *Engine) ApplyMembershipBatch(joins, leaves []int64) error {
 	return firstErr
 }
 
-// MigrateMembership enqueues joins then leaves onto a free-running engine's
-// adjustment queue with blocking sends (never shed), then waits until the
-// snapshot containing every one of them has published. It returns the first
-// apply error (nil in a healthy migration). The publish barrier is what lets
-// a caller order "keys visible in the destination shard" strictly before a
-// directory epoch swap.
+// MigrateMembership enqueues value-less joins then leaves on a free-running
+// engine; see MigrateEntries.
 func (e *Engine) MigrateMembership(joins, leaves []int64) error {
+	return e.MigrateEntries(bareEntries(joins), leaves)
+}
+
+// MigrateEntries enqueues joins (with carried value records) then leaves
+// onto a free-running engine's adjustment queue with blocking sends (never
+// shed), then waits until the snapshot containing every one of them has
+// published. It returns the first apply error (nil in a healthy migration).
+// The publish barrier is what lets a caller order "keys visible in the
+// destination shard" strictly before a directory epoch swap.
+func (e *Engine) MigrateEntries(joins []skipgraph.Entry, leaves []int64) error {
 	dones := make([]chan error, 0, len(joins)+len(leaves))
-	enqueue := func(op taskOp, id int64) error {
+	enqueue := func(t task) error {
 		ch := make(chan error, 1) // buffered: the adjuster never blocks on it
-		if err := e.offerWait(task{op: op, src: id, done: ch}); err != nil {
+		t.done = ch
+		if err := e.offerWait(t); err != nil {
 			return err
 		}
 		dones = append(dones, ch)
 		return nil
 	}
-	for _, id := range joins {
-		if err := enqueue(opJoin, id); err != nil {
+	for i := range joins {
+		if err := enqueue(task{op: opJoin, src: joins[i].ID, entry: &joins[i]}); err != nil {
 			return err
 		}
 	}
 	for _, id := range leaves {
-		if err := enqueue(opLeave, id); err != nil {
+		if err := enqueue(task{op: opLeave, src: id}); err != nil {
 			return err
 		}
 	}

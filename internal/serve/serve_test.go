@@ -11,12 +11,12 @@ import (
 )
 
 // feed pushes the request list into a channel the engine consumes.
-func feed(reqs []workload.Request) <-chan core.Pair {
-	ch := make(chan core.Pair)
+func feed(reqs []workload.Request) <-chan core.Op {
+	ch := make(chan core.Op)
 	go func() {
 		defer close(ch)
 		for _, r := range reqs {
-			ch <- core.Pair{Src: int64(r.Src), Dst: int64(r.Dst)}
+			ch <- core.RouteOp(int64(r.Src), int64(r.Dst))
 		}
 	}()
 	return ch
@@ -139,7 +139,7 @@ func TestServeContextCancel(t *testing.T) {
 	d := core.New(n, core.Config{A: 4, Seed: 9})
 	e := New(d, Config{Parallelism: 2, BatchSize: 8})
 	ctx, cancel := context.WithCancel(context.Background())
-	ch := make(chan core.Pair)
+	ch := make(chan core.Op)
 	go func() {
 		defer close(ch)
 		reqs := workload.Uniform{Seed: 9}.Generate(n, 1000)
@@ -147,7 +147,7 @@ func TestServeContextCancel(t *testing.T) {
 			// The documented producer pattern: select on the same ctx so the
 			// feeder unblocks once Serve stops receiving.
 			select {
-			case ch <- core.Pair{Src: int64(r.Src), Dst: int64(r.Dst)}:
+			case ch <- core.RouteOp(int64(r.Src), int64(r.Dst)):
 			case <-ctx.Done():
 				return
 			}
@@ -171,9 +171,9 @@ func TestServeContextCancel(t *testing.T) {
 // TestServeBadPairAborts: an unknown node id aborts the run with an error.
 func TestServeBadPairAborts(t *testing.T) {
 	e := New(core.New(16, core.Config{A: 4, Seed: 1}), Config{BatchSize: 4})
-	ch := make(chan core.Pair, 2)
-	ch <- core.Pair{Src: 1, Dst: 2}
-	ch <- core.Pair{Src: 3, Dst: 99}
+	ch := make(chan core.Op, 2)
+	ch <- core.RouteOp(1, 2)
+	ch <- core.RouteOp(3, 99)
 	close(ch)
 	if _, err := e.Serve(context.Background(), ch); err == nil {
 		t.Fatal("expected error for unknown node id")

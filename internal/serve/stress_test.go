@@ -193,14 +193,14 @@ func TestModeConflict(t *testing.T) {
 	e := New(d, Config{})
 	e.Start()
 	defer e.Stop()
-	ch := make(chan core.Pair)
+	ch := make(chan core.Op)
 	close(ch)
 	if _, err := e.Serve(context.Background(), ch); err == nil {
 		t.Fatal("Serve on a Start()ed engine must fail")
 	}
 
 	e2 := New(core.New(16, core.Config{A: 4, Seed: 1}), Config{})
-	blocked := make(chan core.Pair) // never closed during the first Serve
+	blocked := make(chan core.Op) // never closed during the first Serve
 	ret := make(chan error, 1)
 	go func() {
 		_, err := e2.Serve(context.Background(), blocked)
@@ -215,7 +215,7 @@ func TestModeConflict(t *testing.T) {
 			break
 		}
 	}
-	ch2 := make(chan core.Pair)
+	ch2 := make(chan core.Op)
 	close(ch2)
 	if _, err := e2.Serve(context.Background(), ch2); err == nil {
 		t.Fatal("overlapping Serve must fail")

@@ -8,8 +8,8 @@ import (
 )
 
 // executeMigration runs one planned migration through the given membership
-// applier — (*serve.Engine).MigrateMembership against running engines,
-// (*serve.Engine).ApplyMembershipBatch between deterministic windows. The
+// applier — (*serve.Engine).MigrateEntries against running engines,
+// (*serve.Engine).ApplyMigrationBatch between deterministic windows. The
 // applier must guarantee that when it returns, the changes are visible in
 // the engine's published snapshot; that is what makes the ordering safe:
 //
@@ -18,22 +18,28 @@ import (
 //  3. leave the range from the source shard,
 //
 // so every directory value ever observable names a shard whose snapshot
-// holds the key. The moved ids come from the source shard's published
-// snapshot (immutable, safe to read while its adjuster works).
+// holds the key. The moved records come from the source shard's published
+// snapshot (immutable, safe to read while its adjuster works) as full
+// entries — id, value, version — so a key's data and its per-key version
+// monotonicity survive the move.
 func (s *Service) executeMigration(dir *Directory, plan migrationPlan,
-	apply func(eng *serve.Engine, joins, leaves []int64) error) error {
-	ids := s.shards[plan.From].eng.Snapshot().Graph.RealKeysInRange(
+	apply func(eng *serve.Engine, joins []skipgraph.Entry, leaves []int64) error) error {
+	entries := s.shards[plan.From].eng.Snapshot().Graph.RealEntriesInRange(
 		skipgraph.KeyOf(plan.Lo), skipgraph.KeyOf(plan.Hi))
-	if len(ids) == 0 {
+	if len(entries) == 0 {
 		return nil
+	}
+	ids := make([]int64, len(entries))
+	for i, e := range entries {
+		ids[i] = e.ID
 	}
 	b, start := plan.boundaryAfter()
 	next, err := dir.withBoundary(b, start)
 	if err != nil {
 		return err
 	}
-	if err := apply(s.shards[plan.To].eng, ids, nil); err != nil {
-		return fmt.Errorf("shard: migrating %d keys into shard %d: %w", len(ids), plan.To, err)
+	if err := apply(s.shards[plan.To].eng, entries, nil); err != nil {
+		return fmt.Errorf("shard: migrating %d keys into shard %d: %w", len(entries), plan.To, err)
 	}
 	s.dir.Store(next)
 	if err := apply(s.shards[plan.From].eng, nil, ids); err != nil {

@@ -3,32 +3,40 @@ package shard
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"lsasg/internal/core"
 	"lsasg/internal/serve"
+	"lsasg/internal/skipgraph"
 )
 
 // This file is the deterministic mode: a sequential dispatcher splits the
-// request stream into per-shard legs feeding S concurrent engine pipelines,
-// and the rebalancer runs at engine-idle barriers between fixed-size request
+// op stream into per-shard legs feeding S concurrent engine pipelines, and
+// the rebalancer runs at engine-idle barriers between fixed-size request
 // windows. Every statistic is a pure function of the request sequence and
 // the configuration — independent of Parallelism, shard pipeline scheduling,
 // and producer timing — because each shard's leg sequence, each engine's
 // batch schedule, and every planner input is fixed by the dispatch order.
-
-// Request is one communication request between two keys, the unit Serve
-// consumes.
-type Request struct {
-	Src, Dst int64
-}
+//
+// KV ops ride the same leg machinery. A point op (Get/Put/Delete) becomes
+// an origin-side route leg to the exit boundary (when non-trivial) plus the
+// op itself dispatched to the destination shard with the entry boundary as
+// its access source — so the access adapts both shards' topologies exactly
+// like a cross-shard route. A Scan fans one scan leg to every shard whose
+// range intersects [start, ∞), each reading its own epoch snapshot; the
+// fragments are correlated by a dispatcher-assigned Tag and stitched in
+// shard order (= key order) at the window barrier, where every leg has
+// completed — which is what makes multi-shard scans deterministic despite
+// the shards' pipelines running concurrently. Outcomes are delivered to
+// Config.OnOutcome at the barrier, in dispatch order.
 
 // ServeStats aggregates one deterministic Serve run. All fields are
 // deterministic for a fixed seed, shard count, and request sequence.
 type ServeStats struct {
 	Requests int64
 	Intra    int64 // requests resolved inside one shard
-	Cross    int64 // requests routed source→boundary, boundary→destination
-	Legs     int64 // engine-routed legs (≤ Requests + Cross)
+	Cross    int64 // requests spanning shards (routed via boundaries / fanned)
+	Legs     int64 // engine legs dispatched
 
 	Windows    int64 // non-empty rebalance windows the run spanned
 	Rebalances int64 // migrations executed at window barriers
@@ -51,6 +59,19 @@ type ServeStats struct {
 	TotalAdjustLag       int64
 	MaxAdjustLag         int
 
+	// KV op counters, at request granularity (a scan fanned over three
+	// shards is one Scan). Hits/inserts come from the stitched outcomes;
+	// RouteMisses sums the engines' unmeasurable KV access paths.
+	Gets           int64
+	GetHits        int64
+	Puts           int64
+	PutInserts     int64
+	Deletes        int64
+	DeleteHits     int64
+	Scans          int64
+	ScannedEntries int64
+	RouteMisses    int64
+
 	// LoadRatioFirst/Last are the max/mean shard-load ratios of the first
 	// non-empty window and the last *full* window — the skew the rebalancer
 	// saw before acting and the skew it left behind. A trailing partial
@@ -64,26 +85,54 @@ type ServeStats struct {
 	DummyCount int // summed over shards
 }
 
+// Outcome is one request's assembled KV result, delivered to
+// Config.OnOutcome at the window barrier in dispatch order. Op is the
+// original envelope as the caller dispatched it (Tag included). Point ops
+// carry the destination leg's result; scans carry the stitched,
+// limit-truncated entries.
+type Outcome struct {
+	Op      core.Op
+	Found   bool
+	Value   []byte
+	Version int64
+	Existed bool
+	Entries []skipgraph.Entry
+}
+
 // pipe is one shard's in-flight window pipeline.
 type pipe struct {
-	ch   chan core.Pair
+	ch   chan core.Op
 	done chan struct{}
 	st   serve.Stats
 	err  error
 }
 
-// Serve consumes requests until the channel closes (or ctx is cancelled),
-// dispatching each to its shard engines' deterministic pipelines, and
-// returns the aggregate statistics. After every RebalanceEvery requests the
-// shard pipelines drain to a barrier, the planner inspects the window's
-// per-key loads, and at most one contiguous range migrates between adjacent
-// shards before the next window starts — so rebalancing decisions (and the
-// resulting directory epochs) are as deterministic as everything else.
+// pendingReq is one dispatched KV op awaiting its leg results at the
+// barrier.
+type pendingReq struct {
+	tag  int64
+	op   core.Op // original envelope
+	legs int     // KV legs carrying the tag (scans fan >1)
+}
+
+// tagFrag is one tagged leg result captured from a shard engine.
+type tagFrag struct {
+	shard int
+	r     serve.Result
+}
+
+// Serve consumes op envelopes until the channel closes (or ctx is
+// cancelled), dispatching each to its shard engines' deterministic
+// pipelines, and returns the aggregate statistics. After every
+// RebalanceEvery requests the shard pipelines drain to a barrier, KV
+// outcomes are assembled and delivered, the planner inspects the window's
+// per-key loads, and at most one contiguous range migrates — values riding
+// with their keys — between adjacent shards before the next window starts.
 //
 // Serve refuses to run on a service in free-running mode (Start) and rejects
 // overlapping calls. Producers should select on the same ctx for every send,
 // exactly as with Network.Serve.
-func (s *Service) Serve(ctx context.Context, in <-chan Request) (ServeStats, error) {
+func (s *Service) Serve(ctx context.Context, in <-chan core.Op) (ServeStats, error) {
 	s.mu.Lock()
 	if s.started {
 		s.mu.Unlock()
@@ -111,17 +160,19 @@ func (s *Service) Serve(ctx context.Context, in <-chan Request) (ServeStats, err
 	var retErr error
 	done := false
 	sawFullWindow := false
+	var nextTag int64
 	for !done {
 		dir := s.dir.Load()
 		pipes := make([]*pipe, len(s.shards))
 		for i, sl := range s.shards {
-			p := &pipe{ch: make(chan core.Pair, 4*batch), done: make(chan struct{})}
+			p := &pipe{ch: make(chan core.Op, 4*batch), done: make(chan struct{})}
 			pipes[i] = p
 			go func(sl *slot, p *pipe) {
 				p.st, p.err = sl.eng.Serve(ctx, p.ch)
 				close(p.done)
 			}(sl, p)
 		}
+		var pending []pendingReq
 		dispatched := 0
 		for dispatched < every && retErr == nil && !done {
 			select {
@@ -132,11 +183,11 @@ func (s *Service) Serve(ctx context.Context, in <-chan Request) (ServeStats, err
 					done = true
 					break
 				}
-				if err := s.checkPair(r); err != nil {
+				if err := s.checkOp(r); err != nil {
 					done, retErr = true, err
 					break
 				}
-				if !s.dispatch(ctx, dir, r, pipes, &st) {
+				if !s.dispatch(ctx, dir, r, pipes, &st, &pending, &nextTag) {
 					done = true // a pipeline died; its error surfaces below
 					break
 				}
@@ -163,7 +214,9 @@ func (s *Service) Serve(ctx context.Context, in <-chan Request) (ServeStats, err
 			if p.st.MaxAdjustLag > st.MaxAdjustLag {
 				st.MaxAdjustLag = p.st.MaxAdjustLag
 			}
+			st.RouteMisses += p.st.RouteMisses
 		}
+		s.deliverOutcomes(pending, &st)
 		keyLoad := s.takeKeyLoads()
 		if dispatched > 0 {
 			st.Windows++
@@ -196,58 +249,224 @@ func (s *Service) Serve(ctx context.Context, in <-chan Request) (ServeStats, err
 	return st, retErr
 }
 
-// dispatch splits one request into shard legs (the shared splitLegs rule)
-// and feeds them to the window pipelines, updating the dispatcher-side
-// books. It reports false when a pipeline stopped consuming (engine error
-// or cancellation).
-func (s *Service) dispatch(ctx context.Context, dir *Directory, r Request, pipes []*pipe, st *ServeStats) bool {
-	legs, n, cross := dir.splitLegs(r.Src, r.Dst)
+// dispatch splits one op into shard legs and feeds them to the window
+// pipelines, updating the dispatcher-side books. KV ops are tagged so their
+// leg results can be assembled at the barrier. It reports false when a
+// pipeline stopped consuming (engine error or cancellation).
+func (s *Service) dispatch(ctx context.Context, dir *Directory, op core.Op,
+	pipes []*pipe, st *ServeStats, pending *[]pendingReq, nextTag *int64) bool {
 	st.Requests++
-	s.recordLoad(r.Src, r.Dst)
-	if s.cfg.OnRequest != nil {
-		s.cfg.OnRequest(r.Src, r.Dst, cross)
-	}
-	if cross {
-		st.Cross++
-		st.TotalRouteHops++ // the inter-shard forwarding hop
-		// Each non-trivial leg ends (or starts) at a boundary node, which is
-		// an intermediate of the whole-request path.
-		st.TotalRouteDistance += int64(n)
-	} else {
-		st.Intra++
-	}
-	for i := 0; i < n; i++ {
-		st.Legs++
-		select {
-		case pipes[legs[i].shard].ch <- core.Pair{Src: legs[i].src, Dst: legs[i].dst}:
-		case <-pipes[legs[i].shard].done:
-			return false
-		case <-ctx.Done():
-			return false
+	switch op.Kind {
+	case core.OpRoute:
+		legs, n, cross := dir.splitLegs(op.Src, op.Dst)
+		s.recordLoad(op.Src, op.Dst)
+		if s.cfg.OnRequest != nil {
+			s.cfg.OnRequest(op.Src, op.Dst, cross)
 		}
+		if cross {
+			st.Cross++
+			st.TotalRouteHops++ // the inter-shard forwarding hop
+			// Each non-trivial leg ends (or starts) at a boundary node, which is
+			// an intermediate of the whole-request path.
+			st.TotalRouteDistance += int64(n)
+		} else {
+			st.Intra++
+		}
+		for i := 0; i < n; i++ {
+			st.Legs++
+			if !s.sendLeg(ctx, pipes[legs[i].shard], core.Op{Src: legs[i].src, Dst: legs[i].dst}) {
+				return false
+			}
+		}
+		return true
+
+	case core.OpGet, core.OpPut, core.OpDelete:
+		switch op.Kind {
+		case core.OpGet:
+			st.Gets++
+		case core.OpPut:
+			st.Puts++
+		case core.OpDelete:
+			st.Deletes++
+		}
+		s.recordLoad(op.Src, op.Dst)
+		si, di := dir.ShardOf(op.Src), dir.ShardOf(op.Dst)
+		cross := si != di
+		if s.cfg.OnRequest != nil {
+			s.cfg.OnRequest(op.Src, op.Dst, cross)
+		}
+		*nextTag++
+		tag := *nextTag
+		*pending = append(*pending, pendingReq{tag: tag, op: op, legs: 1})
+		kv := op
+		kv.Tag = tag
+		if cross {
+			st.Cross++
+			st.TotalRouteHops++
+			higher := op.Dst > op.Src
+			if exit := dir.exitKey(si, higher); exit != op.Src {
+				st.Legs++
+				st.TotalRouteDistance++ // the exit boundary intermediate
+				if !s.sendLeg(ctx, pipes[si], core.Op{Src: op.Src, Dst: exit}) {
+					return false
+				}
+			}
+			entry := dir.entryKey(di, higher)
+			if entry != op.Dst {
+				st.TotalRouteDistance++ // the entry boundary intermediate
+			}
+			kv.Src = entry // the access enters the shard at the boundary
+		} else {
+			st.Intra++
+		}
+		st.Legs++
+		return s.sendLeg(ctx, pipes[di], kv)
+
+	case core.OpScan:
+		st.Scans++
+		s.keyLoad[op.Dst].Add(1)
+		first := dir.ShardOf(op.Dst)
+		fan := dir.Shards() - first
+		if fan > 1 {
+			st.Cross++
+			st.TotalRouteHops += int64(fan - 1) // shard-to-shard forwarding
+		} else {
+			st.Intra++
+		}
+		*nextTag++
+		tag := *nextTag
+		*pending = append(*pending, pendingReq{tag: tag, op: op, legs: fan})
+		limit := op.Limit
+		if limit <= 0 {
+			limit = 1
+		}
+		for i := first; i < dir.Shards(); i++ {
+			lo, _ := dir.Range(i)
+			start := op.Dst
+			if lo > start {
+				start = lo
+			}
+			st.Legs++
+			// Every leg carries the full limit: a shard cannot know how many
+			// entries its predecessors will contribute, and the barrier stitch
+			// truncates exactly.
+			if !s.sendLeg(ctx, pipes[i], core.Op{Kind: core.OpScan, Dst: start, Limit: limit, Tag: tag}) {
+				return false
+			}
+		}
+		return true
 	}
 	return true
 }
 
+// sendLeg feeds one leg to a shard pipeline, giving up when the pipeline or
+// the context dies.
+func (s *Service) sendLeg(ctx context.Context, p *pipe, op core.Op) bool {
+	select {
+	case p.ch <- op:
+		return true
+	case <-p.done:
+		return false
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// captureFrag records a tagged leg result from shard engine OnResult
+// callbacks; untagged legs (plain routes) pass through untouched. Engines
+// call this concurrently, hence the lock; assembly happens single-threaded
+// at the barrier.
+func (s *Service) captureFrag(shard int, r serve.Result) {
+	if r.Op.Tag == 0 {
+		return
+	}
+	s.fragMu.Lock()
+	s.frags[r.Op.Tag] = append(s.frags[r.Op.Tag], tagFrag{shard: shard, r: r})
+	s.fragMu.Unlock()
+}
+
+// deliverOutcomes assembles each pending op's leg results — all complete,
+// the pipelines have drained — updates the KV statistics, and hands the
+// outcomes to OnOutcome in dispatch order. The fragment store resets for
+// the next window.
+func (s *Service) deliverOutcomes(pending []pendingReq, st *ServeStats) {
+	if len(pending) == 0 {
+		return
+	}
+	s.fragMu.Lock()
+	frags := s.frags
+	s.frags = make(map[int64][]tagFrag)
+	s.fragMu.Unlock()
+	for _, p := range pending {
+		o := Outcome{Op: p.op}
+		fs := frags[p.tag]
+		if p.op.Kind == core.OpScan {
+			sort.Slice(fs, func(i, j int) bool { return fs[i].shard < fs[j].shard })
+			limit := p.op.Limit
+			if limit <= 0 {
+				limit = 1
+			}
+			for _, f := range fs {
+				for _, e := range f.r.Entries {
+					if len(o.Entries) == limit {
+						break
+					}
+					o.Entries = append(o.Entries, e)
+				}
+			}
+			st.ScannedEntries += int64(len(o.Entries))
+		} else if len(fs) > 0 {
+			r := fs[0].r
+			o.Found, o.Value, o.Version, o.Existed = r.Found, r.Value, r.Version, r.Existed
+			switch p.op.Kind {
+			case core.OpGet:
+				if o.Found {
+					st.GetHits++
+				}
+			case core.OpPut:
+				if !o.Existed {
+					st.PutInserts++
+				}
+			case core.OpDelete:
+				if o.Existed {
+					st.DeleteHits++
+				}
+			}
+		}
+		if s.cfg.OnOutcome != nil {
+			s.cfg.OnOutcome(o)
+		}
+	}
+}
+
 // executeIdle runs one migration with every engine idle, applying
-// membership directly (ApplyMembershipBatch publishes the snapshot
+// membership directly (ApplyMigrationBatch publishes the snapshot
 // synchronously, satisfying executeMigration's applier contract).
 func (s *Service) executeIdle(dir *Directory, plan migrationPlan) error {
-	return s.executeMigration(dir, plan, func(eng *serve.Engine, joins, leaves []int64) error {
-		return eng.ApplyMembershipBatch(joins, leaves)
+	return s.executeMigration(dir, plan, func(eng *serve.Engine, joins []skipgraph.Entry, leaves []int64) error {
+		return eng.ApplyMigrationBatch(joins, leaves)
 	})
 }
 
-// checkPair validates one request.
-func (s *Service) checkPair(r Request) error {
-	if err := s.checkKey(r.Src); err != nil {
+// checkOp validates one op envelope against the static key space.
+func (s *Service) checkOp(op core.Op) error {
+	if err := s.checkKey(op.Dst); err != nil {
 		return err
 	}
-	if err := s.checkKey(r.Dst); err != nil {
-		return err
-	}
-	if r.Src == r.Dst {
-		return fmt.Errorf("shard: source and destination are both %d", r.Src)
+	switch op.Kind {
+	case core.OpRoute:
+		if err := s.checkKey(op.Src); err != nil {
+			return err
+		}
+		if op.Src == op.Dst {
+			return fmt.Errorf("shard: source and destination are both %d", op.Src)
+		}
+	case core.OpGet, core.OpPut, core.OpDelete:
+		return s.checkKey(op.Src)
+	case core.OpScan:
+		// Src unused; Dst is the scan start, already checked.
+	default:
+		return fmt.Errorf("shard: unknown op kind %d", op.Kind)
 	}
 	return nil
 }

@@ -191,11 +191,11 @@ func (s *Service) rebalanceOnce() (bool, error) {
 	if !ok {
 		return false, nil
 	}
-	// MigrateMembership serializes through the running adjusters and returns
+	// MigrateEntries serializes through the running adjusters and returns
 	// only once the changes are in a published snapshot — the applier
 	// contract executeMigration's epoch ordering needs.
-	return true, s.executeMigration(dir, plan, func(eng *serve.Engine, joins, leaves []int64) error {
-		return eng.MigrateMembership(joins, leaves)
+	return true, s.executeMigration(dir, plan, func(eng *serve.Engine, joins []skipgraph.Entry, leaves []int64) error {
+		return eng.MigrateEntries(joins, leaves)
 	})
 }
 

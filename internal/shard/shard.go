@@ -39,11 +39,17 @@ type Config struct {
 	// shard (default 2).
 	MinShardKeys int
 
-	// OnRequest, when non-nil, observes every request accepted by the
-	// deterministic Serve pipeline in sequence order (before its legs are
-	// dispatched). The sharded public API uses it for working-set
-	// bookkeeping.
+	// OnRequest, when non-nil, observes every route and point-KV request
+	// accepted by the deterministic Serve pipeline in sequence order (before
+	// its legs are dispatched). The sharded public API uses it for
+	// working-set bookkeeping. Scans are not pair accesses and do not fire
+	// it.
 	OnRequest func(src, dst int64, crossShard bool)
+
+	// OnOutcome, when non-nil, receives every KV op's assembled result —
+	// point outcomes and stitched cross-shard scans — at each window
+	// barrier of the deterministic Serve pipeline, in dispatch order.
+	OnOutcome func(o Outcome)
 }
 
 func (c Config) shards() int {
@@ -101,6 +107,11 @@ type Service struct {
 	// load window; the planner consumes and resets it.
 	keyLoad []atomic.Int64
 
+	// frags collects tagged KV leg results from the shard engines during a
+	// deterministic window; deliverOutcomes drains it at the barrier.
+	fragMu sync.Mutex
+	frags  map[int64][]tagFrag
+
 	mu      sync.Mutex // guards the mode flags and Stop
 	started bool
 	serving bool
@@ -126,7 +137,7 @@ func New(n int, cfg Config) (*Service, error) {
 	if n < s*cfg.minShardKeys() {
 		return nil, fmt.Errorf("shard: %d keys cannot fill %d shards with ≥ %d keys each", n, s, cfg.minShardKeys())
 	}
-	svc := &Service{cfg: cfg, n: int64(n), keyLoad: make([]atomic.Int64, n)}
+	svc := &Service{cfg: cfg, n: int64(n), keyLoad: make([]atomic.Int64, n), frags: make(map[int64][]tagFrag)}
 	dir := newDirectory(int64(n), s)
 	svc.dir.Store(dir)
 	a := cfg.A
@@ -147,11 +158,15 @@ func New(n int, cfg Config) (*Service, error) {
 			// real id into any shard, so dummy ids live far above them all.
 			DummyIDBase: int64(n) + int64(i+1)<<32,
 		})
+		shardIdx := i
 		eng := serve.New(d, serve.Config{
 			Parallelism:        cfg.Parallelism,
 			BatchSize:          cfg.BatchSize,
 			Backlog:            cfg.Backlog,
 			TolerateAdjustMiss: true,
+			// Tagged KV legs report their results here for barrier-time
+			// assembly; untagged (route) legs pass through.
+			OnResult: func(r serve.Result) { svc.captureFrag(shardIdx, r) },
 		})
 		svc.shards = append(svc.shards, &slot{dsg: d, eng: eng})
 	}

@@ -7,16 +7,17 @@ import (
 	"testing"
 	"time"
 
+	"lsasg/internal/core"
 	"lsasg/internal/workload"
 )
 
 // feed pushes requests into a channel the service consumes.
-func feed(reqs []workload.Request) <-chan Request {
-	ch := make(chan Request)
+func feed(reqs []workload.Request) <-chan core.Op {
+	ch := make(chan core.Op)
 	go func() {
 		defer close(ch)
 		for _, r := range reqs {
-			ch <- Request{Src: int64(r.Src), Dst: int64(r.Dst)}
+			ch <- core.RouteOp(int64(r.Src), int64(r.Dst))
 		}
 	}()
 	return ch
@@ -285,7 +286,7 @@ func TestServeModeConflict(t *testing.T) {
 		t.Fatal(err)
 	}
 	svc.Start()
-	ch := make(chan Request)
+	ch := make(chan core.Op)
 	close(ch)
 	if _, err := svc.Serve(context.Background(), ch); err == nil {
 		t.Error("Serve on a Start()ed service must fail")
@@ -297,12 +298,12 @@ func TestServeModeConflict(t *testing.T) {
 
 // TestServeInvalidRequest: out-of-range keys and self-communication abort.
 func TestServeInvalidRequest(t *testing.T) {
-	for _, bad := range []Request{{Src: -1, Dst: 3}, {Src: 3, Dst: 99}, {Src: 5, Dst: 5}} {
+	for _, bad := range []core.Op{core.RouteOp(-1, 3), core.RouteOp(3, 99), core.RouteOp(5, 5)} {
 		svc, err := New(32, Config{Shards: 2, Seed: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
-		ch := make(chan Request, 1)
+		ch := make(chan core.Op, 1)
 		ch <- bad
 		close(ch)
 		if _, err := svc.Serve(context.Background(), ch); err == nil {

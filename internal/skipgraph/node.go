@@ -16,6 +16,14 @@ type Node struct {
 	dummy bool
 	dead  bool // crashed: present in every list but unresponsive
 
+	// Versioned value record (the KV data plane). val is immutable once
+	// stored: Graph.SetValue swaps in a fresh slice per write, never mutates
+	// one in place, so a published replica can share the slice safely. All
+	// writes go through Graph.SetValue so touch tracking sees them.
+	val    []byte
+	ver    int64
+	hasVal bool
+
 	bits []byte
 	next []*Node
 	prev []*Node
@@ -51,6 +59,11 @@ func (n *Node) IsDummy() bool { return n.dummy }
 // occupies every list it was in — its neighbours' references dangle at an
 // unresponsive peer until a detection-triggered repair splices it out.
 func (n *Node) Dead() bool { return n.dead }
+
+// Value returns the node's value record: the stored bytes, the version
+// assigned at the write, and whether a value is present at all. The returned
+// slice is the stored one — treat it as immutable.
+func (n *Node) Value() ([]byte, int64, bool) { return n.val, n.ver, n.hasVal }
 
 // Bit returns the membership-vector bit deciding the node's level-i list
 // (i ≥ 1). It panics if the bit has not been assigned.

@@ -352,7 +352,7 @@ func (p *Publisher) fresh(nd *trieNode) *trieNode {
 // touches it, so a neighbour is either untouched (slot from an earlier
 // epoch) or settled in pass 1 of this publish.
 func (p *Publisher) repOf(n *Node) *repNode {
-	rn := &repNode{h: n, dead: n.dead}
+	rn := &repNode{h: n, dead: n.dead, val: n.val, ver: n.ver, hasVal: n.hasVal}
 	top := linkTop(n)
 	if top >= 0 {
 		buf := make([]int32, 2*(top+1))

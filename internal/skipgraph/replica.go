@@ -40,12 +40,19 @@ import (
 )
 
 // repNode is one node's frozen per-epoch state: the live handle (immutable
-// identity fields only), the liveness flag as of the epoch, and the level
-// links encoded as slots into the replica's trie (-1 = no neighbour). Slices
-// are trimmed at the node's highest linked level.
+// identity fields only), the liveness flag and value record as of the
+// epoch, and the level links encoded as slots into the replica's trie (-1 =
+// no neighbour). Slices are trimmed at the node's highest linked level. The
+// value slice is shared with the live node — safe because SetValue swaps
+// slices per write instead of mutating bytes in place.
 type repNode struct {
 	h    *Node
 	dead bool
+
+	val    []byte
+	ver    int64
+	hasVal bool
+
 	next []int32
 	prev []int32
 }

@@ -37,13 +37,16 @@ func (g *Graph) Clone() *Graph {
 	twin := make(map[*Node]*Node, len(g.nodes))
 	for i, n := range g.nodes {
 		m := &Node{
-			key:   n.key,
-			id:    n.id,
-			dummy: n.dummy,
-			dead:  n.dead,
-			bits:  append([]byte(nil), n.bits...),
-			next:  make([]*Node, len(n.next)),
-			prev:  make([]*Node, len(n.prev)),
+			key:    n.key,
+			id:     n.id,
+			dummy:  n.dummy,
+			dead:   n.dead,
+			val:    append([]byte(nil), n.val...),
+			ver:    n.ver,
+			hasVal: n.hasVal,
+			bits:   append([]byte(nil), n.bits...),
+			next:   make([]*Node, len(n.next)),
+			prev:   make([]*Node, len(n.prev)),
 		}
 		c.nodes[i] = m
 		c.byKey[m.key] = m

@@ -1,0 +1,309 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// This file holds the KV workload shapes: YCSB-style operation mixes layered
+// over any key-popularity generator. A KV trace drives the data plane — gets
+// and puts are accesses that adjust the topology exactly like routes, puts
+// of absent keys are insertions (tracked joins), deletes are tracked leaves
+// addressed by key, and scans are read-only range reads. The key space is
+// the fixed index range [0, n): insertions therefore need free keys, which
+// the generator carves out up front with an evenly-strided batch of deletes
+// sized to the expected insertion count.
+
+// MixRatios is a YCSB-style operation mix: the relative weight of each KV
+// operation kind. Weights need not sum to one — they are normalized — but
+// must be non-negative with a positive sum. Read and Update are point
+// operations over live keys (get and put respectively); Insert is a put of
+// a currently absent key; Scan is a range read; Delete removes a live key.
+type MixRatios struct {
+	Read   float64
+	Update float64
+	Insert float64
+	Scan   float64
+	Delete float64
+}
+
+// Named mixes, following the YCSB core-workload letters where they apply.
+var (
+	// MixA is the update-heavy mix: 50% reads, 50% updates (YCSB-A).
+	MixA = MixRatios{Read: 0.5, Update: 0.5}
+	// MixB is the read-mostly mix: 95% reads, 5% updates (YCSB-B).
+	MixB = MixRatios{Read: 0.95, Update: 0.05}
+	// MixC is the read-only mix (YCSB-C).
+	MixC = MixRatios{Read: 1}
+	// MixE is the scan-heavy mix: 95% short scans, 5% inserts (YCSB-E).
+	MixE = MixRatios{Scan: 0.95, Insert: 0.05}
+	// MixCRUD is a balanced exercise of every operation kind — not a YCSB
+	// letter, but the mix that stresses the full put-join/delete-leave
+	// machinery at once.
+	MixCRUD = MixRatios{Read: 0.4, Update: 0.25, Insert: 0.15, Scan: 0.1, Delete: 0.1}
+)
+
+// namedMixes maps the ParseMix shorthand letters to their ratios.
+var namedMixes = map[string]MixRatios{
+	"a":    MixA,
+	"b":    MixB,
+	"c":    MixC,
+	"e":    MixE,
+	"crud": MixCRUD,
+}
+
+// Check validates the mix: every weight non-negative and finite, and the
+// sum positive.
+func (m MixRatios) Check() error {
+	sum := 0.0
+	for _, w := range []float64{m.Read, m.Update, m.Insert, m.Scan, m.Delete} {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("workload: mix weight %v out of range [0, ∞)", w)
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		return fmt.Errorf("workload: mix weights sum to %v, need > 0", sum)
+	}
+	return nil
+}
+
+// normalized returns the mix scaled to sum to one.
+func (m MixRatios) normalized() MixRatios {
+	sum := m.Read + m.Update + m.Insert + m.Scan + m.Delete
+	return MixRatios{
+		Read:   m.Read / sum,
+		Update: m.Update / sum,
+		Insert: m.Insert / sum,
+		Scan:   m.Scan / sum,
+		Delete: m.Delete / sum,
+	}
+}
+
+// String renders the normalized mix compactly, nonzero weights only, in the
+// fixed order read/update/insert/scan/delete — e.g. "r0.95+u0.05".
+func (m MixRatios) String() string {
+	n := m.normalized()
+	var parts []string
+	for _, p := range []struct {
+		tag string
+		w   float64
+	}{{"r", n.Read}, {"u", n.Update}, {"i", n.Insert}, {"s", n.Scan}, {"d", n.Delete}} {
+		if p.w > 0 {
+			parts = append(parts, fmt.Sprintf("%s%.2f", p.tag, p.w))
+		}
+	}
+	return strings.Join(parts, "+")
+}
+
+// ParseMix resolves an operation mix from a string: a named mix ("a", "b",
+// "c", "e", "crud", case-insensitive) or five colon-separated weights in the
+// order read:update:insert:scan:delete (e.g. "50:30:10:5:5").
+func ParseMix(s string) (MixRatios, error) {
+	if m, ok := namedMixes[strings.ToLower(strings.TrimSpace(s))]; ok {
+		return m, nil
+	}
+	fields := strings.Split(s, ":")
+	if len(fields) != 5 {
+		return MixRatios{}, fmt.Errorf("workload: mix %q is neither a named mix (a, b, c, e, crud) nor five read:update:insert:scan:delete weights", s)
+	}
+	var w [5]float64
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return MixRatios{}, fmt.Errorf("workload: mix %q: weight %q is not a number", s, f)
+		}
+		w[i] = v
+	}
+	m := MixRatios{Read: w[0], Update: w[1], Insert: w[2], Scan: w[3], Delete: w[4]}
+	if err := m.Check(); err != nil {
+		return MixRatios{}, err
+	}
+	return m, nil
+}
+
+// KVMix generates a KV operation trace over the fixed key space [0, n):
+// each of the m events is drawn from Mix, with origins and point-operation
+// keys drawn through Base (so a skewed base workload yields skewed key
+// popularity, mapped onto whatever keys are currently live — exactly like
+// the churn generators' route mapping). Scan lengths are uniform in
+// [1, MaxScanLen], the YCSB-E convention.
+//
+// Insertions need absent keys. Before the main stream the generator carves
+// out free keyspace with an evenly-strided batch of deletes sized to the
+// expected insertion count (capped at a quarter of the key space), so every
+// shard of a sharded run loses keys proportionally; each insert then revives
+// the lowest carved key, and each delete feeds the free pool. When the free
+// pool runs dry an insert degrades to an update, and when the live
+// population reaches the floor a delete degrades to an update — the trace
+// always carries exactly m KV events.
+type KVMix struct {
+	Seed       int64
+	Mix        MixRatios
+	MaxScanLen int       // scan length cap, ≥ 1; defaults to 16
+	Base       Generator // origin/key popularity; defaults to Uniform{Seed}
+}
+
+// Name implements TraceGenerator.
+func (g KVMix) Name() string {
+	return fmt.Sprintf("kv[%s](%s)", g.Mix, g.base().Name())
+}
+
+func (g KVMix) base() Generator {
+	if g.Base == nil {
+		return Uniform{Seed: g.Seed}
+	}
+	return g.Base
+}
+
+func (g KVMix) maxScanLen() int {
+	if g.MaxScanLen == 0 {
+		return 16
+	}
+	return g.MaxScanLen
+}
+
+// Params implements Parameterized.
+func (g KVMix) Params() map[string]float64 {
+	n := g.Mix.normalized()
+	p := map[string]float64{
+		"read": n.Read, "update": n.Update, "insert": n.Insert,
+		"scan": n.Scan, "delete": n.Delete,
+		"scanlen": float64(g.maxScanLen()),
+	}
+	mergeBaseParams(p, g.base())
+	return p
+}
+
+// kvState tracks which keys of [0, n) are live during generation. The live
+// slice stays sorted (key order) so position-based draws are deterministic
+// and skew-preserving; free is a min-ordered pool of absent keys.
+type kvState struct {
+	live []int64
+	pos  map[int64]int // key → index in live
+	free []int64       // absent keys, ascending
+}
+
+func newKVState(n int) *kvState {
+	st := &kvState{live: make([]int64, n), pos: make(map[int64]int, n)}
+	for i := range st.live {
+		st.live[i] = int64(i)
+		st.pos[int64(i)] = i
+	}
+	return st
+}
+
+// at maps a base-generator index onto the i-th live key (mod size).
+func (st *kvState) at(i int) int64 { return st.live[i%len(st.live)] }
+
+// remove deletes key from the live set, keeping order, and returns it to
+// the free pool.
+func (st *kvState) remove(key int64) {
+	i := st.pos[key]
+	st.live = append(st.live[:i], st.live[i+1:]...)
+	delete(st.pos, key)
+	for j := i; j < len(st.live); j++ {
+		st.pos[st.live[j]] = j
+	}
+	// Insert into free keeping ascending order (pool stays small).
+	j := len(st.free)
+	for j > 0 && st.free[j-1] > key {
+		j--
+	}
+	st.free = append(st.free, 0)
+	copy(st.free[j+1:], st.free[j:])
+	st.free[j] = key
+}
+
+// revive pops the lowest free key back into the live set.
+func (st *kvState) revive() int64 {
+	key := st.free[0]
+	st.free = st.free[1:]
+	i := len(st.live)
+	for i > 0 && st.live[i-1] > key {
+		i--
+	}
+	st.live = append(st.live, 0)
+	copy(st.live[i+1:], st.live[i:])
+	st.live[i] = key
+	for j := i; j < len(st.live); j++ {
+		st.pos[st.live[j]] = j
+	}
+	return key
+}
+
+// Trace implements TraceGenerator. The trace carries exactly m KV events
+// after the carve-out prefix; every event validates under Trace.Validate.
+func (g KVMix) Trace(n, m int) (Trace, error) {
+	if err := ValidateArgs(n, m); err != nil {
+		return nil, err
+	}
+	if err := g.Mix.Check(); err != nil {
+		return nil, err
+	}
+	if g.maxScanLen() < 1 {
+		return nil, fmt.Errorf("workload: scan length cap %d, need ≥ 1", g.maxScanLen())
+	}
+	mix := g.Mix.normalized()
+	rng := rand.New(rand.NewSource(g.Seed + 808))
+	reqs := g.base().Generate(n, m)
+	st := newKVState(n)
+
+	// Carve out free keyspace for the expected insertions: an evenly-strided
+	// delete batch, so no contiguous key region (= no shard) empties out.
+	carve := int(math.Ceil(mix.Insert * float64(m)))
+	if max := n / 4; carve > max {
+		carve = max
+	}
+	if max := n - minLive; carve > max {
+		carve = max
+	}
+	tr := make(Trace, 0, m+carve)
+	for i := 0; i < carve; i++ {
+		key := int64(i * n / carve)
+		origin := st.at(rng.Intn(len(st.live)))
+		if origin == key {
+			origin = st.at(st.pos[key] + 1)
+		}
+		tr = append(tr, Event{Op: OpDelete, Src: origin, Dst: key})
+		st.remove(key)
+	}
+
+	cumUpdate := mix.Read + mix.Update
+	cumInsert := cumUpdate + mix.Insert
+	cumScan := cumInsert + mix.Scan
+	for _, r := range reqs {
+		origin := st.at(r.Src)
+		u := rng.Float64()
+		switch {
+		case u < mix.Read:
+			tr = append(tr, Event{Op: OpGet, Src: origin, Dst: st.at(r.Dst)})
+		case u < cumUpdate:
+			tr = append(tr, Event{Op: OpPut, Src: origin, Dst: st.at(r.Dst)})
+		case u < cumInsert:
+			if len(st.free) == 0 { // pool dry: degrade to an update
+				tr = append(tr, Event{Op: OpPut, Src: origin, Dst: st.at(r.Dst)})
+				continue
+			}
+			tr = append(tr, Event{Op: OpPut, Src: origin, Dst: st.revive()})
+		case u < cumScan:
+			tr = append(tr, Event{
+				Op:    OpScan,
+				Dst:   int64(rng.Intn(n)),
+				Limit: 1 + rng.Intn(g.maxScanLen()),
+			})
+		default: // delete
+			key := st.at(r.Dst)
+			if len(st.live) <= minLive+1 || key == origin { // floor, or self-delete: degrade
+				tr = append(tr, Event{Op: OpPut, Src: origin, Dst: key})
+				continue
+			}
+			tr = append(tr, Event{Op: OpDelete, Src: origin, Dst: key})
+			st.remove(key)
+		}
+	}
+	return tr, nil
+}

@@ -18,6 +18,20 @@ const (
 	// runs, and the network discovers the failure only when a route
 	// contacts the dead peer. Crashed ids are never reused.
 	OpCrash
+	// OpGet reads Dst's value as an access from Src — the same σ=(o,k)
+	// access a route is, so it adjusts the topology too.
+	OpGet
+	// OpPut writes a value to Dst as an access from Src. A put of an absent
+	// id joins it (a tracked join), so puts double as insertions. Trace
+	// events carry no value bytes; the replayer synthesizes a deterministic
+	// payload from (key, sequence).
+	OpPut
+	// OpDelete removes Dst from the keyspace — a tracked leave addressed by
+	// key, requested by Src. Deleting an absent id is a legal no-op.
+	OpDelete
+	// OpScan reads up to Limit value-bearing entries starting at the first
+	// key ≥ Dst. Read-only: it never adjusts the topology.
+	OpScan
 )
 
 // String implements fmt.Stringer.
@@ -31,29 +45,46 @@ func (o Op) String() string {
 		return "leave"
 	case OpCrash:
 		return "crash"
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpDelete:
+		return "delete"
+	case OpScan:
+		return "scan"
 	default:
 		return fmt.Sprintf("op(%d)", int(o))
 	}
 }
 
-// Event is one step of a dynamic workload: either a routing request between
-// two live node identifiers (OpRoute, using Src/Dst) or a membership change
-// (OpJoin/OpLeave, using Node). Identifiers are int64 to match the network
-// packages; a trace over n initial nodes uses ids 0..n-1 for the starting
-// membership and fresh ids ≥ n for joins.
+// Event is one step of a dynamic workload: a routing request between two
+// node identifiers (OpRoute, using Src/Dst), a membership change
+// (OpJoin/OpLeave/OpCrash, using Node), or a KV operation (OpGet/OpPut/
+// OpDelete use Src as the origin and Dst as the key; OpScan uses Dst as the
+// start key and Limit as the entry cap). Identifiers are int64 to match the
+// network packages; a trace over n initial nodes uses ids 0..n-1 for the
+// starting membership and fresh ids ≥ n for joins.
 type Event struct {
-	Op   Op
-	Src  int64 // OpRoute source
-	Dst  int64 // OpRoute destination
-	Node int64 // OpJoin / OpLeave subject
+	Op    Op
+	Src   int64 // OpRoute / KV op origin
+	Dst   int64 // OpRoute destination; KV op key; OpScan start key
+	Node  int64 // OpJoin / OpLeave / OpCrash subject
+	Limit int   // OpScan entry cap, ≥ 1
 }
 
 // String implements fmt.Stringer.
 func (e Event) String() string {
-	if e.Op == OpRoute {
+	switch e.Op {
+	case OpRoute:
 		return fmt.Sprintf("route(%d→%d)", e.Src, e.Dst)
+	case OpGet, OpPut, OpDelete:
+		return fmt.Sprintf("%s(%d→%d)", e.Op, e.Src, e.Dst)
+	case OpScan:
+		return fmt.Sprintf("scan(%d,limit=%d)", e.Dst, e.Limit)
+	default:
+		return fmt.Sprintf("%s(%d)", e.Op, e.Node)
 	}
-	return fmt.Sprintf("%s(%d)", e.Op, e.Node)
 }
 
 // Trace is an ordered event sequence produced by a TraceGenerator.
@@ -85,6 +116,23 @@ func (tr Trace) Crashes() int {
 	return c
 }
 
+// KVCounts returns the number of get, put, delete, and scan events.
+func (tr Trace) KVCounts() (gets, puts, deletes, scans int) {
+	for _, e := range tr {
+		switch e.Op {
+		case OpGet:
+			gets++
+		case OpPut:
+			puts++
+		case OpDelete:
+			deletes++
+		case OpScan:
+			scans++
+		}
+	}
+	return gets, puts, deletes, scans
+}
+
 // Validate replays the trace against a three-state membership model (live,
 // departed, crashed) and returns the first inconsistency: a route from
 // anything but a live node, a route to an id that never was or gracefully
@@ -95,6 +143,14 @@ func (tr Trace) Crashes() int {
 // id is legal — it models a stale client probing an unavailable peer, the
 // availability measure of the failure experiments. The initial membership is
 // ids 0..n-1.
+//
+// KV events follow the data-plane contract: a get needs a live origin (any
+// key is a legal target — absent and crashed keys read as misses); a put
+// needs a live origin and a non-crashed key, and makes an absent key live (a
+// put-join); a delete needs a live origin and a non-crashed key — deleting a
+// live key obeys the same two-node floor as a leave and makes the key
+// absent, deleting an absent key is a no-op; a scan needs a non-negative
+// start key and a positive limit.
 func (tr Trace) Validate(n int) error {
 	if n < 2 {
 		return fmt.Errorf("workload: trace needs at least 2 initial nodes, got %d", n)
@@ -144,6 +200,38 @@ func (tr Trace) Validate(n int) error {
 			}
 			delete(live, e.Node)
 			crashed[e.Node] = true
+		case OpGet:
+			if !live[e.Src] {
+				return fmt.Errorf("workload: event %d %s reads from a non-live origin", i, e)
+			}
+		case OpPut:
+			if !live[e.Src] {
+				return fmt.Errorf("workload: event %d %s writes from a non-live origin", i, e)
+			}
+			if crashed[e.Dst] {
+				return fmt.Errorf("workload: event %d %s writes to a crashed key", i, e)
+			}
+			live[e.Dst] = true // a put of an absent key joins it
+		case OpDelete:
+			if !live[e.Src] {
+				return fmt.Errorf("workload: event %d %s deletes from a non-live origin", i, e)
+			}
+			if crashed[e.Dst] {
+				return fmt.Errorf("workload: event %d %s deletes a crashed key", i, e)
+			}
+			if live[e.Dst] {
+				if len(live) <= 2 {
+					return fmt.Errorf("workload: event %d %s would drop membership below 2", i, e)
+				}
+				delete(live, e.Dst)
+			}
+		case OpScan:
+			if e.Dst < 0 {
+				return fmt.Errorf("workload: event %d %s has a negative start key", i, e)
+			}
+			if e.Limit < 1 {
+				return fmt.Errorf("workload: event %d %s needs limit ≥ 1", i, e)
+			}
 		default:
 			return fmt.Errorf("workload: event %d has unknown op %d", i, int(e.Op))
 		}

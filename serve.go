@@ -57,6 +57,18 @@ type ServeStats struct {
 	// activity during the run (window-barrier migrations).
 	Rebalances   int64
 	MigratedKeys int64
+
+	// The KV fields below stay zero for pure-route runs; ServeOps fills
+	// them. Counts are at request granularity (a cross-shard scan is one
+	// Scan regardless of how many shards it fanned over).
+	Gets           int64
+	GetHits        int64 // gets that found a value
+	Puts           int64
+	PutInserts     int64 // puts that joined a new key (vs updated in place)
+	Deletes        int64
+	DeleteHits     int64 // deletes that removed something
+	Scans          int64
+	ScannedEntries int64 // entries returned across all scans
 }
 
 // Serve consumes communication requests from the channel until it closes (or
@@ -101,7 +113,7 @@ func (nw *Network) Serve(ctx context.Context, reqs <-chan Pair) (ServeStats, err
 		OnResult: func(r serve.Result) {
 			// Sequence-order bookkeeping, identical to Request's.
 			if nw.ws != nil {
-				nw.ws.Add(int(r.Pair.Src), int(r.Pair.Dst))
+				nw.ws.Add(int(r.Op.Src), int(r.Op.Dst))
 			}
 			nw.requests++
 			nw.totalRouteDistance += int64(r.RouteDistance)
@@ -112,7 +124,7 @@ func (nw *Network) Serve(ctx context.Context, reqs <-chan Pair) (ServeStats, err
 		},
 	})
 
-	inner := make(chan core.Pair)
+	inner := make(chan core.Op)
 	done := make(chan struct{})
 	errc := make(chan error, 1)
 	go func() {
@@ -130,7 +142,7 @@ func (nw *Network) Serve(ctx context.Context, reqs <-chan Pair) (ServeStats, err
 					return
 				}
 				select {
-				case inner <- core.Pair{Src: int64(p.Src), Dst: int64(p.Dst)}:
+				case inner <- core.RouteOp(int64(p.Src), int64(p.Dst)):
 				case <-done:
 					return
 				}

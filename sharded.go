@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"lsasg/internal/core"
 	"lsasg/internal/shard"
 	"lsasg/internal/workingset"
 )
@@ -34,6 +35,10 @@ type ShardedNetwork struct {
 	totalRouteDistance int64
 	totalTransform     int64
 	maxLegDistance     int
+
+	// onOutcome is the per-ServeOps result callback; the service's
+	// OnOutcome hook (fixed at construction) forwards through it.
+	onOutcome func(o shard.Outcome)
 }
 
 // NewSharded creates a sharded network over n ≥ 2·shards nodes. It honours
@@ -59,13 +64,20 @@ func NewSharded(n int, opts ...Option) (*ShardedNetwork, error) {
 		Parallelism: o.parallelism,
 		BatchSize:   o.batchSize,
 		OnRequest: func(src, dst int64, cross bool) {
-			// Sequence-order bookkeeping, mirroring Network.Serve's.
-			if nw.ws != nil {
+			// Sequence-order bookkeeping, mirroring Network.Serve's. KV ops
+			// may be self-accesses (src == dst), which the bound tracker
+			// has no use for.
+			if nw.ws != nil && src != dst {
 				nw.ws.Add(int(src), int(dst))
 			}
 			nw.requests++
 			if cross {
 				nw.crossShard++
+			}
+		},
+		OnOutcome: func(o shard.Outcome) {
+			if nw.onOutcome != nil {
+				nw.onOutcome(o)
 			}
 		},
 	})
@@ -104,7 +116,7 @@ func (nw *ShardedNetwork) DummyCount() int { return nw.svc.DummyCount() }
 // The producer contract is the same as Network.Serve: pair every send with
 // the same ctx and cancel it once Serve returns.
 func (nw *ShardedNetwork) Serve(ctx context.Context, reqs <-chan Pair) (ServeStats, error) {
-	inner := make(chan shard.Request)
+	inner := make(chan core.Op)
 	done := make(chan struct{})
 	go func() {
 		defer close(inner)
@@ -117,7 +129,7 @@ func (nw *ShardedNetwork) Serve(ctx context.Context, reqs <-chan Pair) (ServeSta
 					return
 				}
 				select {
-				case inner <- shard.Request{Src: int64(p.Src), Dst: int64(p.Dst)}:
+				case inner <- core.RouteOp(int64(p.Src), int64(p.Dst)):
 				case <-done:
 					return
 				}
@@ -126,7 +138,12 @@ func (nw *ShardedNetwork) Serve(ctx context.Context, reqs <-chan Pair) (ServeSta
 	}()
 	st, err := nw.svc.Serve(ctx, inner)
 	close(done)
+	return nw.serveStatsFrom(st), err
+}
 
+// serveStatsFrom folds one sharded run's statistics into the public shape
+// and advances the network's cumulative counters.
+func (nw *ShardedNetwork) serveStatsFrom(st shard.ServeStats) ServeStats {
 	nw.totalRouteDistance += st.TotalRouteDistance
 	nw.totalTransform += st.TotalTransformRounds
 	if int(st.MaxLegDistance) > nw.maxLegDistance {
@@ -151,7 +168,7 @@ func (nw *ShardedNetwork) Serve(ctx context.Context, reqs <-chan Pair) (ServeSta
 	if st.Legs > 0 {
 		out.MeanAdjustLag = float64(st.TotalAdjustLag) / float64(st.Legs)
 	}
-	return out, err
+	return out
 }
 
 // Stats returns aggregate statistics for the requests served so far, with

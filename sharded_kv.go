@@ -1,0 +1,145 @@
+package lsasg
+
+import (
+	"context"
+
+	"lsasg/internal/core"
+	"lsasg/internal/shard"
+)
+
+// This file is the sharded KV surface: the same Get/Put/Delete/Scan +
+// ServeOps API as Network, served across the shard directory. Point ops
+// land on the shard owning the key (a cross-shard access adapts the origin
+// shard along src→boundary too, exactly like a cross-shard route); Scan
+// stitches the shards' level-0 runs in directory order — shard order is key
+// order — so a range read spanning shards comes back globally sorted and
+// limit-exact.
+
+// Get reads key's value as an access from src. Synchronous: the service
+// must not be in free-running mode (Start) or mid-Serve.
+func (nw *ShardedNetwork) Get(src, key int) (value []byte, version int64, found bool, err error) {
+	if err := checkOp(GetOp(src, key), nw.n); err != nil {
+		return nil, 0, false, err
+	}
+	o, err := nw.svc.Apply(core.Op{Kind: core.OpGet, Src: int64(src), Dst: int64(key)})
+	if err != nil {
+		return nil, 0, false, err
+	}
+	nw.noteKVAccess(src, key)
+	return o.Value, o.Version, o.Found, nil
+}
+
+// Put writes value to key as an access from src; an absent key joins the
+// owning shard's topology.
+func (nw *ShardedNetwork) Put(src, key int, value []byte) (version int64, existed bool, err error) {
+	if err := checkOp(PutOp(src, key, value), nw.n); err != nil {
+		return 0, false, err
+	}
+	o, err := nw.svc.Apply(core.Op{Kind: core.OpPut, Src: int64(src), Dst: int64(key), Value: value})
+	if err != nil {
+		return 0, false, err
+	}
+	nw.noteKVAccess(src, key)
+	return o.Version, o.Existed, nil
+}
+
+// Delete removes key from its owning shard (a tracked leave). Deleting an
+// absent key is a no-op with existed == false.
+func (nw *ShardedNetwork) Delete(src, key int) (existed bool, err error) {
+	if err := checkOp(DeleteOp(src, key), nw.n); err != nil {
+		return false, err
+	}
+	o, err := nw.svc.Apply(core.Op{Kind: core.OpDelete, Src: int64(src), Dst: int64(key)})
+	if err != nil {
+		return false, err
+	}
+	nw.noteKVAccess(src, key)
+	return o.Existed, nil
+}
+
+// Scan reads up to limit value-bearing entries in ascending key order
+// starting at the first key ≥ start, stitching across shard boundaries.
+func (nw *ShardedNetwork) Scan(start, limit int) ([]KV, error) {
+	if err := checkOp(ScanOp(start, limit), nw.n); err != nil {
+		return nil, err
+	}
+	o, err := nw.svc.Apply(core.Op{Kind: core.OpScan, Dst: int64(start), Limit: limit})
+	if err != nil {
+		return nil, err
+	}
+	return kvEntries(o.Entries), nil
+}
+
+// noteKVAccess is the synchronous KV twin of the OnRequest bookkeeping.
+func (nw *ShardedNetwork) noteKVAccess(src, key int) {
+	if nw.ws != nil && src != key {
+		nw.ws.Add(src, key)
+	}
+	nw.requests++
+}
+
+// ServeOps consumes op envelopes — routes and KV operations — until the
+// channel closes (or ctx is cancelled) and serves them through the sharded
+// deterministic pipeline. Cross-shard scans fan one leg per intersecting
+// shard and stitch the fragments at the window barrier, where every leg has
+// completed; onResult, when non-nil, receives each KV op's assembled
+// outcome there, in dispatch order (route ops produce no outcome). The
+// producer contract matches Serve's.
+func (nw *ShardedNetwork) ServeOps(ctx context.Context, ops <-chan Op, onResult func(OpResult)) (ServeStats, error) {
+	if onResult != nil {
+		nw.onOutcome = func(o shard.Outcome) {
+			onResult(OpResult{
+				Op:      opFromInternal(o.Op),
+				Found:   o.Found,
+				Value:   o.Value,
+				Version: o.Version,
+				Existed: o.Existed,
+				Entries: kvEntries(o.Entries),
+			})
+		}
+		defer func() { nw.onOutcome = nil }()
+	}
+	inner := make(chan core.Op)
+	done := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		defer close(inner)
+		for {
+			select {
+			case <-done:
+				return
+			case op, ok := <-ops:
+				if !ok {
+					return
+				}
+				if err := checkOp(op, nw.n); err != nil {
+					errc <- err
+					return
+				}
+				select {
+				case inner <- op.internal():
+				case <-done:
+					return
+				}
+			}
+		}
+	}()
+	st, err := nw.svc.Serve(ctx, inner)
+	close(done)
+	if err == nil {
+		select {
+		case err = <-errc:
+		default:
+		}
+	}
+	out := nw.serveStatsFrom(st)
+	out.Gets = st.Gets
+	out.GetHits = st.GetHits
+	out.Puts = st.Puts
+	out.PutInserts = st.PutInserts
+	out.Deletes = st.Deletes
+	out.DeleteHits = st.DeleteHits
+	out.Scans = st.Scans
+	out.ScannedEntries = st.ScannedEntries
+	return out, err
+}
