@@ -1,0 +1,125 @@
+// Command dsgserve runs the self-adjusting skip graph as a network daemon:
+// one lsasg.Service — single-graph or sharded — behind the wire protocol on
+// a TCP port, with Prometheus-text observability on a second port. Clients
+// speak the length-prefixed binary protocol (docs/WIRE.md); cmd/dsgctl is
+// the reference client.
+//
+// The daemon defaults to -batch 1 and -window 1 so synchronous clients see
+// each op answered as soon as it is served; pipelined clients (dsgctl
+// replay) keep the deterministic-stats contract at any setting. SIGINT and
+// SIGTERM drain gracefully: in-flight requests are answered, the serving
+// generation is retired, then the process exits.
+//
+// Usage:
+//
+//	dsgserve                          # 256 keys on :4600, metrics on :4601
+//	dsgserve -n 1024 -shards 8        # sharded service
+//	dsgserve -addr :7000 -metrics ""  # custom port, observability off
+//	dsgserve -seed 7 -balance 3      # deterministic stream, a-balance a=3
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lsasg"
+	"lsasg/internal/wire"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":4600", "TCP address to serve the wire protocol on")
+		metricsAddr = flag.String("metrics", ":4601", "HTTP address for /metrics and /healthz; empty disables")
+		n           = flag.Int("n", 256, "size of the key space [0, n)")
+		shards      = flag.Int("shards", 1, "shard count; 1 runs the single-graph service")
+		balance     = flag.Int("balance", 0, "a-balance parameter; 0 keeps the default")
+		seed        = flag.Int64("seed", 1, "seed for the deterministic stream")
+		batch       = flag.Int("batch", 1, "pipeline batch size (1 answers synchronous clients promptly)")
+		window      = flag.Int("window", 1, "sharded outcome-window size in batches")
+		parallelism = flag.Int("parallelism", 1, "routing workers per pipeline run")
+		membership  = flag.Bool("membership", false, "enable AddNode/RemoveNode admin (disables working-set tracking)")
+		drainFor    = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget before connections are cut")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("dsgserve: ")
+
+	opts := []lsasg.Option{
+		lsasg.WithSeed(*seed),
+		lsasg.WithBatchSize(*batch),
+		lsasg.WithParallelism(*parallelism),
+	}
+	if *balance > 0 {
+		opts = append(opts, lsasg.WithBalance(*balance))
+	}
+	if *membership {
+		opts = append(opts, lsasg.WithoutWorkingSetTracking())
+	}
+
+	var svc lsasg.Service
+	var err error
+	if *shards > 1 {
+		opts = append(opts, lsasg.WithShards(*shards), lsasg.WithRebalanceWindow(*window))
+		svc, err = lsasg.NewSharded(*n, opts...)
+	} else {
+		svc, err = lsasg.New(*n, opts...)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := wire.NewServer(svc)
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving %d keys (%d shard(s)) on %s", *n, *shards, lis.Addr())
+
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		metricsSrv = &http.Server{Addr: *metricsAddr, Handler: srv.Collector().Handler()}
+		go func() {
+			if err := metricsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("metrics endpoint: %v", err)
+			}
+		}()
+		log.Printf("metrics on http://%s/metrics", *metricsAddr)
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(lis) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("%v: draining (budget %v)", s, *drainFor)
+	case err := <-serveErr:
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("forced shutdown: %v", err)
+		os.Exit(1)
+	}
+	if metricsSrv != nil {
+		metricsSrv.Shutdown(context.Background())
+	}
+	if err := svc.Verify(); err != nil {
+		log.Fatalf("post-drain verify: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "dsgserve: drained cleanly")
+}

@@ -44,7 +44,7 @@ func main() {
 	for _, k := range []int{40, 35, 44} {
 		nw.Put(0, k, []byte{byte('a' + k%26)})
 	}
-	kvs, _ := nw.Scan(30, 8)
+	kvs, _ := nw.Scan(0, 30, 8)
 	fmt.Printf("scan from 30: %d entries, first key %d (sorted level-0 walk)\n\n",
 		len(kvs), kvs[0].Key)
 
@@ -58,34 +58,52 @@ func main() {
 	for k := 60; k < 70; k++ { // straddles the shard 0 / shard 1 boundary (64)
 		snw.Put((k+1)%n, k, []byte(fmt.Sprintf("v%d", k)))
 	}
-	kvs, _ = snw.Scan(60, 16)
+	kvs, _ = snw.Scan(0, 60, 16)
 	fmt.Printf("sharded scan from 60 over %d shards: %d entries, keys %d..%d (boundary-spanning, globally sorted)\n\n",
 		snw.Shards(), len(kvs), kvs[0].Key, kvs[len(kvs)-1].Key)
 
 	// --- A YCSB-style mix through the deterministic pipeline. -----------
-	// 50% reads, 25% updates, 15% scans, 10% deletes-then-reinserts, over
-	// zipf-skewed keys: the hot keys drift together exactly as hot
-	// communication pairs would.
+	// serveMix takes the unified lsasg.Service interface, so the same
+	// driver fronts the sharded service here and would front the single
+	// graph (or the wire daemon's backing service) unchanged.
+	stats, err := serveMix(snw, 8192)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("served %d ops across %d shards: %d gets (%.0f%% hit), %d puts (%d joins), %d deletes, %d scans (%.1f entries avg)\n",
+		stats.Requests, stats.Shards,
+		stats.Gets, 100*float64(stats.GetHits)/float64(stats.Gets),
+		stats.Puts, stats.PutInserts, stats.Deletes,
+		stats.Scans, float64(stats.ScannedEntries)/float64(stats.Scans))
+	fmt.Printf("cross-shard accesses: %d; rebalancer moved %d keys in %d migrations\n",
+		stats.CrossShardRequests, stats.MigratedKeys, stats.Rebalances)
+}
+
+// serveMix batches a zipf-skewed mix — 50% reads, 25% updates, 15% scans,
+// 10% deletes-then-reinserts — through any lsasg.Service: the hot keys
+// drift together exactly as hot communication pairs would.
+func serveMix(svc lsasg.Service, total int) (lsasg.ServeStats, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	size := svc.N()
 	ops := make(chan lsasg.Op)
 	go func() {
 		defer close(ops)
 		rng := rand.New(rand.NewSource(7))
-		zipf := rand.NewZipf(rng, 1.2, 1, n-1)
+		zipf := rand.NewZipf(rng, 1.2, 1, uint64(size-1))
 		key := func() int { return int(zipf.Uint64()) }
-		for i := 0; i < 8192; i++ {
+		for i := 0; i < total; i++ {
 			var op lsasg.Op
 			switch r := rng.Float64(); {
 			case r < 0.50:
-				op = lsasg.GetOp(rng.Intn(n), key())
+				op = lsasg.GetOp(rng.Intn(size), key())
 			case r < 0.75:
-				op = lsasg.PutOp(rng.Intn(n), key(), []byte(fmt.Sprintf("u%d", i)))
+				op = lsasg.PutOp(rng.Intn(size), key(), []byte(fmt.Sprintf("u%d", i)))
 			case r < 0.90:
-				op = lsasg.ScanOp(key(), 1+rng.Intn(16))
+				op = lsasg.ScanOp(rng.Intn(size), key(), 1+rng.Intn(16))
 			default:
 				k := key()
-				op = lsasg.DeleteOp(rng.Intn(n), k)
+				op = lsasg.DeleteOp(rng.Intn(size), k)
 				if k == op.Src { // deleting the origin itself: make it an update
 					op = lsasg.PutOp(op.Src, k, []byte("kept"))
 				}
@@ -97,15 +115,5 @@ func main() {
 			}
 		}
 	}()
-	stats, err := snw.ServeOps(ctx, ops, nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("served %d ops across %d shards: %d gets (%.0f%% hit), %d puts (%d joins), %d deletes, %d scans (%.1f entries avg)\n",
-		stats.Requests, stats.Shards,
-		stats.Gets, 100*float64(stats.GetHits)/float64(stats.Gets),
-		stats.Puts, stats.PutInserts, stats.Deletes,
-		stats.Scans, float64(stats.ScannedEntries)/float64(stats.Scans))
-	fmt.Printf("cross-shard accesses: %d; rebalancer moved %d keys in %d migrations\n",
-		stats.CrossShardRequests, stats.MigratedKeys, stats.Rebalances)
+	return svc.ServeOps(ctx, ops, nil)
 }

@@ -23,33 +23,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// A skewed stream: a few hot pairs plus background noise, the regime
-	// where self-adjustment pays. Every send selects on ctx so the producer
-	// unblocks if Serve returns early; the deferred cancel releases it.
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	reqs := make(chan lsasg.Pair)
-	go func() {
-		defer close(reqs)
-		rng := rand.New(rand.NewSource(7))
-		hot := [][2]int{{3, 90}, {17, 64}, {5, 120}, {44, 101}}
-		for i := 0; i < 2048; i++ {
-			p := lsasg.Pair{Src: rng.Intn(n), Dst: rng.Intn(n)}
-			if rng.Float64() < 0.8 {
-				h := hot[rng.Intn(len(hot))]
-				p = lsasg.Pair{Src: h[0], Dst: h[1]}
-			} else if p.Src == p.Dst {
-				continue
-			}
-			select {
-			case reqs <- p:
-			case <-ctx.Done():
-				return
-			}
-		}
-	}()
-
-	stats, err := nw.Serve(ctx, reqs)
+	// serveSkewed takes the unified lsasg.Service interface, so the same
+	// driver would serve the sharded implementation — or any other — without
+	// change. Only the post-hoc link inspection below needs the concrete type.
+	stats, err := serveSkewed(nw, 2048)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,4 +45,35 @@ func main() {
 			fmt.Printf("hot pair %d↔%d directly linked at level %d\n", p[0], p[1], lvl)
 		}
 	}
+}
+
+// serveSkewed pushes a skewed stream — a few hot pairs plus background
+// noise, the regime where self-adjustment pays — through any lsasg.Service.
+// Every send selects on ctx so the producer unblocks if Serve returns
+// early; the deferred cancel releases it.
+func serveSkewed(svc lsasg.Service, total int) (lsasg.ServeStats, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	size := svc.N()
+	reqs := make(chan lsasg.Pair)
+	go func() {
+		defer close(reqs)
+		rng := rand.New(rand.NewSource(7))
+		hot := [][2]int{{3, 90}, {17, 64}, {5, 120}, {44, 101}}
+		for i := 0; i < total; i++ {
+			p := lsasg.Pair{Src: rng.Intn(size), Dst: rng.Intn(size)}
+			if rng.Float64() < 0.8 {
+				h := hot[rng.Intn(len(hot))]
+				p = lsasg.Pair{Src: h[0], Dst: h[1]}
+			} else if p.Src == p.Dst {
+				continue
+			}
+			select {
+			case reqs <- p:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return svc.Serve(ctx, reqs)
 }

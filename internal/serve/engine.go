@@ -309,6 +309,31 @@ func (e *Engine) ApplyOpIdle(op core.Op) (core.OpResult, error) {
 	return res, err
 }
 
+// ApplyCrashIdle injects a crash failure directly on an idle engine (neither
+// Serve nor free-running mode active) and publishes the post-crash snapshot,
+// so routers immediately see the corpse. The synchronous twin of SubmitCrash
+// for services that cycle their pipelines around admin operations.
+func (e *Engine) ApplyCrashIdle(id int64) error {
+	e.mu.Lock()
+	if e.started || e.serving {
+		e.mu.Unlock()
+		return fmt.Errorf("serve: ApplyCrashIdle needs an idle engine (no Serve, no Start)")
+	}
+	e.serving = true
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		e.serving = false
+		e.mu.Unlock()
+	}()
+	if err := e.dsg.Crash(id); err != nil {
+		return err
+	}
+	e.crashes.Add(1)
+	e.publish()
+	return nil
+}
+
 // Serve consumes op envelopes until the channel closes (or ctx is
 // cancelled) and returns the aggregate statistics. Requests are processed
 // in batches of BatchSize: the whole batch is routed in parallel by

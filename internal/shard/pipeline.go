@@ -85,11 +85,11 @@ type ServeStats struct {
 	DummyCount int // summed over shards
 }
 
-// Outcome is one request's assembled KV result, delivered to
-// Config.OnOutcome at the window barrier in dispatch order. Op is the
-// original envelope as the caller dispatched it (Tag included). Point ops
-// carry the destination leg's result; scans carry the stitched,
-// limit-truncated entries.
+// Outcome is one request's assembled result, delivered to Config.OnOutcome
+// at the window barrier in dispatch order — every op produces exactly one,
+// routes included. Op is the original envelope as the caller dispatched it
+// (Tag included). Point ops carry the destination leg's result; scans carry
+// the stitched, limit-truncated entries.
 type Outcome struct {
 	Op      core.Op
 	Found   bool
@@ -97,6 +97,14 @@ type Outcome struct {
 	Version int64
 	Existed bool
 	Entries []skipgraph.Entry
+
+	// RouteDistance and RouteHops sum the op's tagged leg paths (measured in
+	// the shards' snapshots) plus the boundary intermediates and forwarding
+	// hops of a cross-shard access; 0 for scans, which read without routing.
+	// AdjustLag is the worst single leg's pending-adjustment count.
+	RouteDistance int
+	RouteHops     int
+	AdjustLag     int
 }
 
 // pipe is one shard's in-flight window pipeline.
@@ -107,12 +115,16 @@ type pipe struct {
 	err  error
 }
 
-// pendingReq is one dispatched KV op awaiting its leg results at the
-// barrier.
+// pendingReq is one dispatched op awaiting its leg results at the barrier.
 type pendingReq struct {
 	tag  int64
 	op   core.Op // original envelope
-	legs int     // KV legs carrying the tag (scans fan >1)
+	legs int     // legs carrying the tag (scans and cross-shard routes fan >1)
+	// extraDist/extraHops are the dispatcher-side path contributions of a
+	// cross-shard op — boundary intermediates and forwarding hops — folded
+	// into the outcome on top of the tagged legs' snapshot measurements.
+	extraDist int
+	extraHops int
 }
 
 // tagFrag is one tagged leg result captured from a shard engine.
@@ -263,6 +275,19 @@ func (s *Service) dispatch(ctx context.Context, dir *Directory, op core.Op,
 		if s.cfg.OnRequest != nil {
 			s.cfg.OnRequest(op.Src, op.Dst, cross)
 		}
+		// Routes are tagged only when an outcome consumer exists: the tag
+		// costs a fragment capture per leg, and route outcomes carry no KV
+		// state — nothing downstream needs them otherwise.
+		var tag int64
+		if s.cfg.OnOutcome != nil {
+			*nextTag++
+			tag = *nextTag
+			pr := pendingReq{tag: tag, op: op, legs: n}
+			if cross {
+				pr.extraDist, pr.extraHops = n, 1
+			}
+			*pending = append(*pending, pr)
+		}
 		if cross {
 			st.Cross++
 			st.TotalRouteHops++ // the inter-shard forwarding hop
@@ -274,7 +299,7 @@ func (s *Service) dispatch(ctx context.Context, dir *Directory, op core.Op,
 		}
 		for i := 0; i < n; i++ {
 			st.Legs++
-			if !s.sendLeg(ctx, pipes[legs[i].shard], core.Op{Src: legs[i].src, Dst: legs[i].dst}) {
+			if !s.sendLeg(ctx, pipes[legs[i].shard], core.Op{Src: legs[i].src, Dst: legs[i].dst, Tag: tag}) {
 				return false
 			}
 		}
@@ -297,28 +322,33 @@ func (s *Service) dispatch(ctx context.Context, dir *Directory, op core.Op,
 		}
 		*nextTag++
 		tag := *nextTag
-		*pending = append(*pending, pendingReq{tag: tag, op: op, legs: 1})
+		pr := pendingReq{tag: tag, op: op, legs: 1}
 		kv := op
 		kv.Tag = tag
 		if cross {
 			st.Cross++
 			st.TotalRouteHops++
+			pr.extraHops++
 			higher := op.Dst > op.Src
 			if exit := dir.exitKey(si, higher); exit != op.Src {
 				st.Legs++
 				st.TotalRouteDistance++ // the exit boundary intermediate
+				pr.extraDist++
 				if !s.sendLeg(ctx, pipes[si], core.Op{Src: op.Src, Dst: exit}) {
+					*pending = append(*pending, pr)
 					return false
 				}
 			}
 			entry := dir.entryKey(di, higher)
 			if entry != op.Dst {
 				st.TotalRouteDistance++ // the entry boundary intermediate
+				pr.extraDist++
 			}
 			kv.Src = entry // the access enters the shard at the boundary
 		} else {
 			st.Intra++
 		}
+		*pending = append(*pending, pr)
 		st.Legs++
 		return s.sendLeg(ctx, pipes[di], kv)
 
@@ -327,6 +357,9 @@ func (s *Service) dispatch(ctx context.Context, dir *Directory, op core.Op,
 		s.keyLoad[op.Dst].Add(1)
 		first := dir.ShardOf(op.Dst)
 		fan := dir.Shards() - first
+		if s.cfg.OnRequest != nil {
+			s.cfg.OnRequest(op.Src, op.Dst, fan > 1)
+		}
 		if fan > 1 {
 			st.Cross++
 			st.TotalRouteHops += int64(fan - 1) // shard-to-shard forwarding
@@ -335,7 +368,7 @@ func (s *Service) dispatch(ctx context.Context, dir *Directory, op core.Op,
 		}
 		*nextTag++
 		tag := *nextTag
-		*pending = append(*pending, pendingReq{tag: tag, op: op, legs: fan})
+		*pending = append(*pending, pendingReq{tag: tag, op: op, legs: fan, extraHops: fan - 1})
 		limit := op.Limit
 		if limit <= 0 {
 			limit = 1
@@ -400,6 +433,18 @@ func (s *Service) deliverOutcomes(pending []pendingReq, st *ServeStats) {
 	for _, p := range pending {
 		o := Outcome{Op: p.op}
 		fs := frags[p.tag]
+		// The access-path view of the whole request: tagged leg measurements
+		// plus the dispatcher's boundary/forwarding contributions. Leg order
+		// is capture order, but sums and maxima are order-independent.
+		for _, f := range fs {
+			o.RouteDistance += f.r.RouteDistance
+			o.RouteHops += f.r.RouteHops
+			if f.r.AdjustLag > o.AdjustLag {
+				o.AdjustLag = f.r.AdjustLag
+			}
+		}
+		o.RouteDistance += p.extraDist
+		o.RouteHops += p.extraHops
 		if p.op.Kind == core.OpScan {
 			sort.Slice(fs, func(i, j int) bool { return fs[i].shard < fs[j].shard })
 			limit := p.op.Limit
@@ -461,10 +506,10 @@ func (s *Service) checkOp(op core.Op) error {
 		if op.Src == op.Dst {
 			return fmt.Errorf("shard: source and destination are both %d", op.Src)
 		}
-	case core.OpGet, core.OpPut, core.OpDelete:
+	case core.OpGet, core.OpPut, core.OpDelete, core.OpScan:
+		// Dst (a scan's start key) is already checked; Src is the access
+		// origin for every kind.
 		return s.checkKey(op.Src)
-	case core.OpScan:
-		// Src unused; Dst is the scan start, already checked.
 	default:
 		return fmt.Errorf("shard: unknown op kind %d", op.Kind)
 	}

@@ -39,16 +39,16 @@ type Config struct {
 	// shard (default 2).
 	MinShardKeys int
 
-	// OnRequest, when non-nil, observes every route and point-KV request
-	// accepted by the deterministic Serve pipeline in sequence order (before
-	// its legs are dispatched). The sharded public API uses it for
-	// working-set bookkeeping. Scans are not pair accesses and do not fire
-	// it.
+	// OnRequest, when non-nil, observes every request accepted by the
+	// deterministic Serve pipeline in sequence order (before its legs are
+	// dispatched) — scans included, as the access (src, start). The sharded
+	// public API uses it for working-set bookkeeping.
 	OnRequest func(src, dst int64, crossShard bool)
 
-	// OnOutcome, when non-nil, receives every KV op's assembled result —
-	// point outcomes and stitched cross-shard scans — at each window
-	// barrier of the deterministic Serve pipeline, in dispatch order.
+	// OnOutcome, when non-nil, receives every op's assembled result — point
+	// outcomes, stitched cross-shard scans, and route path measurements — at
+	// each window barrier of the deterministic Serve pipeline, in dispatch
+	// order.
 	OnOutcome func(o Outcome)
 }
 
@@ -200,6 +200,28 @@ func (s *Service) DummyCount() int {
 		c += sl.dsg.DummyCount()
 	}
 	return c
+}
+
+// Verify checks all structural invariants of every shard's topology.
+func (s *Service) Verify() error {
+	for i, sl := range s.shards {
+		if err := sl.dsg.Graph().Verify(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CrashIdle injects a crash failure synchronously: the node fails in place
+// on whichever shard the current directory assigns it, and the post-crash
+// snapshot publishes before the call returns. Requires the owning engine to
+// be idle (no Serve, no Start) — the deterministic-mode twin of Crash.
+func (s *Service) CrashIdle(id int64) error {
+	if err := s.checkKey(id); err != nil {
+		return err
+	}
+	sh := s.dir.Load().ShardOf(id)
+	return s.shards[sh].eng.ApplyCrashIdle(id)
 }
 
 // checkKey validates one endpoint.

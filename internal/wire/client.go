@@ -1,0 +1,372 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"lsasg"
+)
+
+// Client speaks the wire protocol to one server. Connections are pooled:
+// each synchronous call checks one out, round-trips a frame, and returns
+// it. Transient failures — generation restarts (CodeRetry) and the
+// by-design-transient ErrUnknownKey/ErrDeadNode races — are retried with
+// capped exponential backoff.
+type Client struct {
+	addr string
+	pool chan *clientConn
+	seq  atomic.Uint64
+
+	maxAttempts int
+	timeout     time.Duration
+	dialTimeout time.Duration
+}
+
+type clientConn struct {
+	nc net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithPoolSize caps idle pooled connections (default 4).
+func WithPoolSize(n int) ClientOption {
+	return func(c *Client) {
+		if n > 0 {
+			c.pool = make(chan *clientConn, n)
+		}
+	}
+}
+
+// WithTimeout bounds each frame write/read (default 30s; zero disables).
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.timeout = d }
+}
+
+// WithMaxAttempts caps Do's tries per request, first included (default 4).
+func WithMaxAttempts(n int) ClientOption {
+	return func(c *Client) {
+		if n > 0 {
+			c.maxAttempts = n
+		}
+	}
+}
+
+// WithDialTimeout bounds connection establishment (default 5s).
+func WithDialTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.dialTimeout = d }
+}
+
+// DialClient connects to a server, failing fast if it is unreachable.
+func DialClient(addr string, opts ...ClientOption) (*Client, error) {
+	c := &Client{
+		addr:        addr,
+		pool:        make(chan *clientConn, 4),
+		maxAttempts: 4,
+		timeout:     30 * time.Second,
+		dialTimeout: 5 * time.Second,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	cc, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	c.putConn(cc)
+	return c, nil
+}
+
+// Close tears down every pooled connection.
+func (c *Client) Close() {
+	for {
+		select {
+		case cc := <-c.pool:
+			cc.nc.Close()
+		default:
+			return
+		}
+	}
+}
+
+func (c *Client) dial() (*clientConn, error) {
+	nc, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return &clientConn{nc: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}, nil
+}
+
+func (c *Client) getConn() (*clientConn, error) {
+	select {
+	case cc := <-c.pool:
+		return cc, nil
+	default:
+		return c.dial()
+	}
+}
+
+func (c *Client) putConn(cc *clientConn) {
+	select {
+	case c.pool <- cc:
+	default:
+		cc.nc.Close()
+	}
+}
+
+// roundTrip writes one request and reads its response on a pooled
+// connection. Any transport or protocol fault closes the connection.
+func (c *Client) roundTrip(req Request) (Response, error) {
+	cc, err := c.getConn()
+	if err != nil {
+		return Response{}, err
+	}
+	if c.timeout > 0 {
+		cc.nc.SetDeadline(time.Now().Add(c.timeout))
+	}
+	if err := WriteFrame(cc.bw, req.Encode()); err != nil {
+		cc.nc.Close()
+		return Response{}, err
+	}
+	if err := cc.bw.Flush(); err != nil {
+		cc.nc.Close()
+		return Response{}, err
+	}
+	body, err := ReadFrame(cc.br)
+	if err != nil {
+		cc.nc.Close()
+		return Response{}, err
+	}
+	resp, err := DecodeResponse(body)
+	if err != nil {
+		cc.nc.Close()
+		return Response{}, err
+	}
+	if resp.Seq != req.Seq {
+		cc.nc.Close()
+		return Response{}, fmt.Errorf("wire: response seq %d for request %d", resp.Seq, req.Seq)
+	}
+	c.putConn(cc)
+	return resp, nil
+}
+
+// Do round-trips one request, retrying transport faults and retryable
+// codes with capped exponential backoff (1ms doubling, 50ms cap). The
+// response is returned alongside its decoded error, if any.
+func (c *Client) Do(req Request) (Response, error) {
+	req.Seq = c.seq.Add(1)
+	var last error
+	for attempt := 0; attempt < c.maxAttempts; attempt++ {
+		if attempt > 0 {
+			d := time.Millisecond << (attempt - 1)
+			if d > 50*time.Millisecond {
+				d = 50 * time.Millisecond
+			}
+			time.Sleep(d)
+		}
+		resp, err := c.roundTrip(req)
+		if err != nil {
+			last = err
+			continue
+		}
+		if resp.Code != CodeOK && resp.Code.Retryable() {
+			last = resp.Err()
+			continue
+		}
+		return resp, resp.Err()
+	}
+	return Response{}, fmt.Errorf("wire: request failed after %d attempts: %w", c.maxAttempts, last)
+}
+
+// RequestFor converts a public op envelope into its wire request (Seq
+// unset). The second result is false for an unmapped kind.
+func RequestFor(op lsasg.Op) (Request, bool) {
+	var v Verb
+	switch op.Kind {
+	case lsasg.RouteKind:
+		v = VerbRoute
+	case lsasg.GetKind:
+		v = VerbGet
+	case lsasg.PutKind:
+		v = VerbPut
+	case lsasg.DeleteKind:
+		v = VerbDelete
+	case lsasg.ScanKind:
+		v = VerbScan
+	default:
+		return Request{}, false
+	}
+	return Request{Verb: v, Src: int64(op.Src), Dst: int64(op.Dst), Limit: int64(op.Limit), Value: op.Value}, true
+}
+
+// --- synchronous op surface -------------------------------------------------
+
+// Route serves one communication request src→dst.
+func (c *Client) Route(src, dst int) (Response, error) {
+	return c.Do(Request{Verb: VerbRoute, Src: int64(src), Dst: int64(dst)})
+}
+
+// Get reads key's value as an access from src.
+func (c *Client) Get(src, key int) (value []byte, version int64, found bool, err error) {
+	resp, err := c.Do(Request{Verb: VerbGet, Src: int64(src), Dst: int64(key)})
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return resp.Value, resp.Version, resp.Found, nil
+}
+
+// Put writes value to key as an access from src.
+func (c *Client) Put(src, key int, value []byte) (version int64, existed bool, err error) {
+	resp, err := c.Do(Request{Verb: VerbPut, Src: int64(src), Dst: int64(key), Value: value})
+	if err != nil {
+		return 0, false, err
+	}
+	return resp.Version, resp.Existed, nil
+}
+
+// Delete removes key from the keyspace.
+func (c *Client) Delete(src, key int) (existed bool, err error) {
+	resp, err := c.Do(Request{Verb: VerbDelete, Src: int64(src), Dst: int64(key)})
+	if err != nil {
+		return false, err
+	}
+	return resp.Existed, nil
+}
+
+// Scan reads up to limit entries in ascending key order from the first
+// key ≥ start.
+func (c *Client) Scan(src, start, limit int) ([]lsasg.KV, error) {
+	resp, err := c.Do(Request{Verb: VerbScan, Src: int64(src), Dst: int64(start), Limit: int64(limit)})
+	if err != nil {
+		return nil, err
+	}
+	kvs := make([]lsasg.KV, len(resp.Entries))
+	for i, ent := range resp.Entries {
+		kvs[i] = lsasg.KV{Key: int(ent.Key), Value: ent.Value, Version: ent.Version}
+	}
+	return kvs, nil
+}
+
+// --- admin surface ----------------------------------------------------------
+
+// Stats cycles the serving generation and returns the cumulative service
+// statistics plus the just-ended generation's ServeStats.
+func (c *Client) Stats() (StatsPayload, error) {
+	resp, err := c.Do(Request{Verb: VerbStats})
+	if err != nil {
+		return StatsPayload{}, err
+	}
+	if resp.Stats == nil {
+		return StatsPayload{}, fmt.Errorf("wire: stats response carried no payload")
+	}
+	return *resp.Stats, nil
+}
+
+// AddNode joins a new node and returns its index.
+func (c *Client) AddNode() (int, error) {
+	resp, err := c.Do(Request{Verb: VerbAddNode})
+	if err != nil {
+		return 0, err
+	}
+	return int(resp.Node), nil
+}
+
+// RemoveNode removes node idx.
+func (c *Client) RemoveNode(idx int) error {
+	_, err := c.Do(Request{Verb: VerbRemoveNode, Dst: int64(idx)})
+	return err
+}
+
+// Crash injects a crash failure on node idx.
+func (c *Client) Crash(idx int) error {
+	_, err := c.Do(Request{Verb: VerbCrash, Dst: int64(idx)})
+	return err
+}
+
+// Verify checks the remote topology's structural invariants.
+func (c *Client) Verify() error {
+	_, err := c.Do(Request{Verb: VerbVerify})
+	return err
+}
+
+// --- pipelined replay -------------------------------------------------------
+
+// Replay pipelines a trace down ONE connection in order, follows it with a
+// Stats frame, and collects every response. A connection's frames enter
+// the server's intake in read order and the owner consumes that queue
+// FIFO, so the trailing Stats cycles the serving generation only after the
+// whole trace: the returned StatsPayload.Serve is exactly the ServeStats
+// an in-process ServeOps call over the same trace would return. No
+// retries happen here — a mid-trace failure surfaces in the responses so
+// the caller sees the trace's true outcome.
+func (c *Client) Replay(ops []lsasg.Op) ([]Response, StatsPayload, error) {
+	for _, op := range ops {
+		if _, ok := RequestFor(op); !ok {
+			return nil, StatsPayload{}, fmt.Errorf("wire: op kind %v cannot replay", op.Kind)
+		}
+	}
+	cc, err := c.getConn()
+	if err != nil {
+		return nil, StatsPayload{}, err
+	}
+	base := c.seq.Add(uint64(len(ops)) + 1)
+	first := base - uint64(len(ops)) // ops get first..base-1, Stats gets base
+
+	writeErr := make(chan error, 1)
+	go func() {
+		for i, op := range ops {
+			req, _ := RequestFor(op)
+			req.Seq = first + uint64(i)
+			if err := WriteFrame(cc.bw, req.Encode()); err != nil {
+				writeErr <- err
+				return
+			}
+		}
+		if err := WriteFrame(cc.bw, Request{Verb: VerbStats, Seq: base}.Encode()); err != nil {
+			writeErr <- err
+			return
+		}
+		writeErr <- cc.bw.Flush()
+	}()
+
+	resps := make([]Response, 0, len(ops))
+	var stats StatsPayload
+	for i := 0; i <= len(ops); i++ {
+		if c.timeout > 0 {
+			cc.nc.SetReadDeadline(time.Now().Add(c.timeout))
+		}
+		body, err := ReadFrame(cc.br)
+		if err == nil {
+			var resp Response
+			if resp, err = DecodeResponse(body); err == nil {
+				if want := first + uint64(i); resp.Seq != want {
+					err = fmt.Errorf("wire: replay response seq %d, want %d", resp.Seq, want)
+				} else if i < len(ops) {
+					resps = append(resps, resp)
+				} else if resp.Stats != nil {
+					stats = *resp.Stats
+				} else if e := resp.Err(); e != nil {
+					err = e
+				} else {
+					err = fmt.Errorf("wire: stats response carried no payload")
+				}
+			}
+		}
+		if err != nil {
+			cc.nc.Close()
+			<-writeErr
+			return resps, StatsPayload{}, err
+		}
+	}
+	if err := <-writeErr; err != nil {
+		cc.nc.Close()
+		return resps, StatsPayload{}, err
+	}
+	c.putConn(cc)
+	return resps, stats, nil
+}

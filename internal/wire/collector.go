@@ -1,0 +1,232 @@
+package wire
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lsasg"
+)
+
+// Collector aggregates serving observability without perturbing the hot
+// path: per-op counters advance on lock-free atomics as results flow, and
+// the topology-level figures (height, shed, rebalances, migrated keys) are
+// snapshotted only at generation boundaries — the service's methods are not
+// concurrency-safe, so the collector never touches the service while a
+// pipeline runs. It renders the Prometheus text exposition format (metric
+// names are listed in docs/WIRE.md).
+type Collector struct {
+	start time.Time
+
+	// Per-verb completed-request counters, indexed by Verb.
+	ops [verbMax + 1]atomic.Int64
+	// Per-code error counters.
+	errs [CodeInternal + 1]atomic.Int64
+
+	// Access-path accumulators over completed ops.
+	distSum atomic.Int64
+	lagSum  atomic.Int64
+	lagMax  atomic.Int64
+
+	// KV outcome accumulators.
+	getHits    atomic.Int64
+	putInserts atomic.Int64
+	delHits    atomic.Int64
+	scanned    atomic.Int64
+
+	conns atomic.Int64
+
+	// Boundary snapshot: cumulative service stats captured when a serving
+	// generation ends (ServeOps returned, service idle).
+	mu   sync.Mutex
+	cum  lsasg.Stats
+	last lsasg.ServeStats
+	gens int64
+
+	// req/s gauge state: the previous scrape's observation.
+	scrapeMu  sync.Mutex
+	prevAt    time.Time
+	prevTotal int64
+}
+
+// NewCollector creates an empty collector.
+func NewCollector() *Collector {
+	now := time.Now()
+	return &Collector{start: now, prevAt: now}
+}
+
+// observeResult records one completed op.
+func (c *Collector) observeResult(v Verb, r lsasg.OpResult) {
+	c.ops[v].Add(1)
+	c.distSum.Add(int64(r.RouteDistance))
+	c.lagSum.Add(int64(r.AdjustLag))
+	for {
+		cur := c.lagMax.Load()
+		if int64(r.AdjustLag) <= cur || c.lagMax.CompareAndSwap(cur, int64(r.AdjustLag)) {
+			break
+		}
+	}
+	switch r.Op.Kind {
+	case lsasg.GetKind:
+		if r.Found {
+			c.getHits.Add(1)
+		}
+	case lsasg.PutKind:
+		if !r.Existed {
+			c.putInserts.Add(1)
+		}
+	case lsasg.DeleteKind:
+		if r.Existed {
+			c.delHits.Add(1)
+		}
+	case lsasg.ScanKind:
+		c.scanned.Add(int64(len(r.Entries)))
+	}
+}
+
+// observeAdmin records one completed admin request.
+func (c *Collector) observeAdmin(v Verb) { c.ops[v].Add(1) }
+
+// observeError records one non-OK response.
+func (c *Collector) observeError(code ErrCode) {
+	if int(code) < len(c.errs) {
+		c.errs[code].Add(1)
+	}
+}
+
+// observeGeneration snapshots the service's cumulative stats at a
+// generation boundary — the only moment the service is idle.
+func (c *Collector) observeGeneration(cum lsasg.Stats, last lsasg.ServeStats) {
+	c.mu.Lock()
+	c.cum = cum
+	c.last = last
+	c.gens++
+	c.mu.Unlock()
+}
+
+func (c *Collector) connOpened() { c.conns.Add(1) }
+func (c *Collector) connClosed() { c.conns.Add(-1) }
+
+func (c *Collector) opTotal() int64 {
+	var t int64
+	for v := VerbRoute; v <= VerbScan; v++ {
+		t += c.ops[v].Load()
+	}
+	return t
+}
+
+// Render writes the Prometheus text exposition of every metric.
+func (c *Collector) Render() string {
+	var b strings.Builder
+	now := time.Now()
+	total := c.opTotal()
+
+	c.scrapeMu.Lock()
+	dt := now.Sub(c.prevAt).Seconds()
+	rate := 0.0
+	if dt > 0 {
+		rate = float64(total-c.prevTotal) / dt
+	}
+	c.prevAt, c.prevTotal = now, total
+	c.scrapeMu.Unlock()
+
+	c.mu.Lock()
+	cum, last, gens := c.cum, c.last, c.gens
+	c.mu.Unlock()
+
+	counter := func(name, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	}
+	gauge := func(name, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	}
+
+	counter("dsg_requests_total", "Completed requests by verb.")
+	for v := VerbRoute; v <= verbMax; v++ {
+		fmt.Fprintf(&b, "dsg_requests_total{verb=%q} %d\n", v.String(), c.ops[v].Load())
+	}
+
+	counter("dsg_errors_total", "Non-OK responses by wire error code.")
+	for code, name := range map[ErrCode]string{
+		CodeUnknownKey: "unknown_key", CodeDeadNode: "dead_node",
+		CodeOutOfRange: "out_of_range", CodeRetry: "retry",
+		CodeInvalid: "invalid", CodeInternal: "internal",
+	} {
+		fmt.Fprintf(&b, "dsg_errors_total{code=%q} %d\n", name, c.errs[code].Load())
+	}
+
+	gauge("dsg_req_per_sec", "Op throughput since the previous scrape.")
+	fmt.Fprintf(&b, "dsg_req_per_sec %g\n", rate)
+
+	gauge("dsg_adjust_lag_mean", "Mean pending adjustments at route time over all completed ops.")
+	mean := 0.0
+	if total > 0 {
+		mean = float64(c.lagSum.Load()) / float64(total)
+	}
+	fmt.Fprintf(&b, "dsg_adjust_lag_mean %g\n", mean)
+	gauge("dsg_adjust_lag_max", "Worst pending-adjustment count observed.")
+	fmt.Fprintf(&b, "dsg_adjust_lag_max %d\n", c.lagMax.Load())
+
+	gauge("dsg_route_distance_mean", "Mean snapshot routing distance over all completed ops.")
+	meanDist := 0.0
+	if total > 0 {
+		meanDist = float64(c.distSum.Load()) / float64(total)
+	}
+	fmt.Fprintf(&b, "dsg_route_distance_mean %g\n", meanDist)
+
+	counter("dsg_shed_adjustments_total", "Adjustments dropped by free-running engines (generation-boundary snapshot).")
+	fmt.Fprintf(&b, "dsg_shed_adjustments_total %d\n", cum.ShedAdjustments)
+	gauge("dsg_shed_rate", "Shed adjustments per served request (generation-boundary snapshot).")
+	shedRate := 0.0
+	if cum.Requests > 0 {
+		shedRate = float64(cum.ShedAdjustments) / float64(cum.Requests)
+	}
+	fmt.Fprintf(&b, "dsg_shed_rate %g\n", shedRate)
+
+	counter("dsg_rebalances_total", "Skew-driven shard migrations (generation-boundary snapshot).")
+	fmt.Fprintf(&b, "dsg_rebalances_total %d\n", cum.Rebalances)
+	counter("dsg_migrated_keys_total", "Keys moved across shards by the rebalancer (generation-boundary snapshot).")
+	fmt.Fprintf(&b, "dsg_migrated_keys_total %d\n", cum.MigratedKeys)
+
+	counter("dsg_kv_ops_total", "Completed KV data-plane ops by kind.")
+	fmt.Fprintf(&b, "dsg_kv_ops_total{op=\"get\"} %d\n", c.ops[VerbGet].Load())
+	fmt.Fprintf(&b, "dsg_kv_ops_total{op=\"put\"} %d\n", c.ops[VerbPut].Load())
+	fmt.Fprintf(&b, "dsg_kv_ops_total{op=\"delete\"} %d\n", c.ops[VerbDelete].Load())
+	fmt.Fprintf(&b, "dsg_kv_ops_total{op=\"scan\"} %d\n", c.ops[VerbScan].Load())
+	counter("dsg_kv_hits_total", "KV op outcomes: get hits, put joins, delete hits.")
+	fmt.Fprintf(&b, "dsg_kv_hits_total{op=\"get\"} %d\n", c.getHits.Load())
+	fmt.Fprintf(&b, "dsg_kv_hits_total{op=\"put_insert\"} %d\n", c.putInserts.Load())
+	fmt.Fprintf(&b, "dsg_kv_hits_total{op=\"delete\"} %d\n", c.delHits.Load())
+	counter("dsg_kv_scanned_entries_total", "Entries returned across all scans.")
+	fmt.Fprintf(&b, "dsg_kv_scanned_entries_total %d\n", c.scanned.Load())
+
+	gauge("dsg_height", "Skip-graph height at the last generation boundary.")
+	fmt.Fprintf(&b, "dsg_height %d\n", last.Height)
+	gauge("dsg_dummy_nodes", "Dummy-node population at the last generation boundary.")
+	fmt.Fprintf(&b, "dsg_dummy_nodes %d\n", last.DummyCount)
+	counter("dsg_generations_total", "Serving generations completed (admin cycles and restarts).")
+	fmt.Fprintf(&b, "dsg_generations_total %d\n", gens)
+	gauge("dsg_connections", "Open client connections.")
+	fmt.Fprintf(&b, "dsg_connections %d\n", c.conns.Load())
+	gauge("dsg_uptime_seconds", "Seconds since the collector started.")
+	fmt.Fprintf(&b, "dsg_uptime_seconds %g\n", now.Sub(c.start).Seconds())
+	return b.String()
+}
+
+// Handler returns an http.Handler serving /metrics (Prometheus text) and
+// /healthz (liveness).
+func (c *Collector) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, c.Render())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}

@@ -1,0 +1,268 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"lsasg"
+)
+
+// Exhaustive codec coverage: every verb round-trips losslessly through
+// Encode/Decode for both frame directions, and malformed frames fail
+// loudly instead of decoding to garbage.
+
+func sampleRequests() []Request {
+	return []Request{
+		{Verb: VerbRoute, Seq: 1, Src: 3, Dst: 17},
+		{Verb: VerbGet, Seq: 2, Src: 0, Dst: 9},
+		{Verb: VerbPut, Seq: 3, Src: 5, Dst: 9, Value: []byte("hello")},
+		{Verb: VerbPut, Seq: 4, Src: 5, Dst: 9}, // nil value
+		{Verb: VerbDelete, Seq: 5, Src: 1, Dst: 2},
+		{Verb: VerbScan, Seq: 6, Src: 7, Dst: 0, Limit: 64},
+		{Verb: VerbStats, Seq: 7},
+		{Verb: VerbAddNode, Seq: 8},
+		{Verb: VerbRemoveNode, Seq: 9, Dst: 31},
+		{Verb: VerbCrash, Seq: 10, Dst: 4},
+		{Verb: VerbVerify, Seq: 11},
+		{Verb: VerbRoute, Seq: ^uint64(0), Src: -1, Dst: 1 << 40}, // extremes survive
+	}
+}
+
+func sampleResponses() []Response {
+	return []Response{
+		{Verb: VerbRoute, Seq: 1, Node: 17, Distance: 5, Hops: 3, Lag: 2},
+		{Verb: VerbGet, Seq: 2, Found: true, Version: 7, Value: []byte("v"), Distance: 1, Hops: 1},
+		{Verb: VerbGet, Seq: 3}, // miss: everything zero
+		{Verb: VerbPut, Seq: 4, Existed: true, Version: 9},
+		{Verb: VerbDelete, Seq: 5, Existed: true},
+		{Verb: VerbScan, Seq: 6, Entries: []Entry{
+			{Key: 3, Version: 1, Value: []byte("a")},
+			{Key: 7, Version: 4, Value: nil},
+			{Key: 12, Version: 2, Value: []byte("long enough to matter")},
+		}},
+		{Verb: VerbScan, Seq: 7}, // empty scan
+		{Verb: VerbStats, Seq: 8, Stats: &StatsPayload{
+			Cum: lsasg.Stats{
+				Requests: 100, MeanRouteDistance: 2.5, MaxRouteDistance: 9,
+				TotalTransformRounds: 42, WorkingSetBound: 123.75, Height: 6,
+				DummyCount: 3, ShedAdjustments: 11, Rebalances: 2, MigratedKeys: 17,
+			},
+			Serve: lsasg.ServeStats{
+				Requests: 50, Batches: 50, MeanRouteDistance: 1.25, MaxRouteDistance: 4,
+				TotalTransformRounds: 20, MeanAdjustLag: 0.5, MaxAdjustLag: 2,
+				Height: 6, DummyCount: 3, Shards: 4, CrossShardRequests: 12,
+				Rebalances: 1, MigratedKeys: 8, Gets: 10, GetHits: 7, Puts: 20,
+				PutInserts: 5, Deletes: 3, DeleteHits: 2, Scans: 4, ScannedEntries: 31,
+			},
+		}},
+		{Verb: VerbCrash, Seq: 9, Code: CodeOutOfRange, Msg: "node index 99 not in [0, 32)"},
+		{Verb: VerbVerify, Seq: 10, Code: CodeInternal, Msg: "invariant broken"},
+		{Verb: VerbRoute, Seq: 11, Code: CodeRetry, Msg: "serving generation restarted"},
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	for _, req := range sampleRequests() {
+		got, err := DecodeRequest(req.Encode())
+		if err != nil {
+			t.Fatalf("%v: decode: %v", req.Verb, err)
+		}
+		if !reflect.DeepEqual(got, req) {
+			t.Errorf("round trip changed the request:\n got %+v\nwant %+v", got, req)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	for _, resp := range sampleResponses() {
+		got, err := DecodeResponse(resp.Encode())
+		if err != nil {
+			t.Fatalf("%v seq %d: decode: %v", resp.Verb, resp.Seq, err)
+		}
+		if !reflect.DeepEqual(got, resp) {
+			t.Errorf("round trip changed the response:\n got %+v\nwant %+v", got, resp)
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	bodies := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("ab"), 4096)}
+	for _, body := range bodies {
+		if err := WriteFrame(&buf, body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, body := range bodies {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, body) {
+			t.Errorf("frame round trip: got %d bytes, want %d", len(got), len(body))
+		}
+	}
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Error("read past the last frame must fail")
+	}
+}
+
+func TestFrameLimits(t *testing.T) {
+	if err := WriteFrame(&bytes.Buffer{}, make([]byte, MaxFrame+1)); err == nil {
+		t.Error("oversized write must fail")
+	}
+	// A header promising more than MaxFrame is refused before allocation.
+	hdr := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, err := ReadFrame(bytes.NewReader(hdr)); err == nil {
+		t.Error("oversized header must fail")
+	}
+	// A header promising more than the stream holds reports truncation.
+	short := append([]byte{0, 0, 0, 10}, 'x')
+	if _, err := ReadFrame(bytes.NewReader(short)); err == nil {
+		t.Error("truncated body must fail")
+	}
+}
+
+func TestDecodeRequestRejectsMalformed(t *testing.T) {
+	good := Request{Verb: VerbPut, Seq: 1, Src: 2, Dst: 3, Value: []byte("v")}.Encode()
+	cases := map[string][]byte{
+		"empty":          {},
+		"truncated":      good[:len(good)-3],
+		"trailing bytes": append(append([]byte{}, good...), 0),
+		"verb zero":      append([]byte{0}, good[1:]...),
+		"verb too big":   append([]byte{byte(verbMax) + 1}, good[1:]...),
+		"response flag":  append([]byte{byte(VerbPut | responseFlag)}, good[1:]...),
+	}
+	for name, body := range cases {
+		if _, err := DecodeRequest(body); err == nil {
+			t.Errorf("%s: decode must fail", name)
+		}
+	}
+}
+
+func TestDecodeResponseRejectsMalformed(t *testing.T) {
+	good := sampleResponses()[5].Encode() // the entry-carrying scan
+	withStats := sampleResponses()[7].Encode()
+	cases := map[string][]byte{
+		"empty":           {},
+		"truncated":       good[:len(good)-2],
+		"trailing bytes":  append(append([]byte{}, good...), 0),
+		"no flag":         append([]byte{byte(VerbScan)}, good[1:]...),
+		"bad verb":        append([]byte{byte(responseFlag)}, good[1:]...),
+		"truncated stats": withStats[:len(withStats)-8],
+	}
+	for name, body := range cases {
+		if _, err := DecodeResponse(body); err == nil {
+			t.Errorf("%s: decode must fail", name)
+		}
+	}
+}
+
+// TestDecodeResponseEntryCountBomb feeds a frame whose entry count
+// promises far more entries than the frame could hold: the decoder must
+// refuse without allocating for them.
+func TestDecodeResponseEntryCountBomb(t *testing.T) {
+	resp := Response{Verb: VerbScan, Seq: 1}
+	body := resp.Encode()
+	// The entry count sits 4+... from the end: [count:4][hasStats:1].
+	bomb := append([]byte{}, body...)
+	copy(bomb[len(bomb)-5:], []byte{0xff, 0xff, 0xff, 0x0f})
+	if _, err := DecodeResponse(bomb); err == nil {
+		t.Error("entry-count bomb must fail to decode")
+	}
+}
+
+func TestRequestOpMapping(t *testing.T) {
+	cases := []struct {
+		req  Request
+		want lsasg.Op
+	}{
+		{Request{Verb: VerbRoute, Src: 1, Dst: 2}, lsasg.RouteOp(1, 2)},
+		{Request{Verb: VerbGet, Src: 1, Dst: 2}, lsasg.GetOp(1, 2)},
+		{Request{Verb: VerbPut, Src: 1, Dst: 2, Value: []byte("v")}, lsasg.PutOp(1, 2, []byte("v"))},
+		{Request{Verb: VerbDelete, Src: 1, Dst: 2}, lsasg.DeleteOp(1, 2)},
+		{Request{Verb: VerbScan, Src: 1, Dst: 2, Limit: 5}, lsasg.ScanOp(1, 2, 5)},
+	}
+	for _, tc := range cases {
+		op, ok := tc.req.Op()
+		if !ok || !reflect.DeepEqual(op, tc.want) {
+			t.Errorf("%v.Op() = %+v, %v; want %+v", tc.req.Verb, op, ok, tc.want)
+		}
+		// And the reverse direction agrees.
+		back, ok := RequestFor(tc.want)
+		if !ok || !reflect.DeepEqual(back, tc.req) {
+			t.Errorf("RequestFor(%+v) = %+v, %v; want %+v", tc.want, back, ok, tc.req)
+		}
+	}
+	for _, v := range []Verb{VerbStats, VerbAddNode, VerbRemoveNode, VerbCrash, VerbVerify} {
+		if _, ok := (Request{Verb: v}).Op(); ok {
+			t.Errorf("admin verb %v must not map to an op", v)
+		}
+	}
+}
+
+func TestErrorMappingAcrossTheWire(t *testing.T) {
+	cases := []struct {
+		err      error
+		code     ErrCode
+		sentinel error
+	}{
+		{fmt.Errorf("ctx: %w", lsasg.ErrUnknownKey), CodeUnknownKey, lsasg.ErrUnknownKey},
+		{fmt.Errorf("ctx: %w", lsasg.ErrDeadNode), CodeDeadNode, lsasg.ErrDeadNode},
+		{fmt.Errorf("ctx: %w", lsasg.ErrOutOfRange), CodeOutOfRange, lsasg.ErrOutOfRange},
+		{ErrRetry, CodeRetry, ErrRetry},
+		{errors.New("anything else"), CodeInternal, nil},
+	}
+	for _, tc := range cases {
+		if got := CodeOf(tc.err); got != tc.code {
+			t.Errorf("CodeOf(%v) = %v, want %v", tc.err, got, tc.code)
+		}
+		resp := Response{Verb: VerbGet, Code: tc.code, Msg: tc.err.Error()}
+		remote := resp.Err()
+		if remote == nil {
+			t.Fatalf("code %v must reconstruct an error", tc.code)
+		}
+		if tc.sentinel != nil && !errors.Is(remote, tc.sentinel) {
+			t.Errorf("reconstructed %q does not match its sentinel", remote)
+		}
+		if !strings.Contains(remote.Error(), tc.err.Error()) {
+			t.Errorf("reconstructed %q lost the remote message %q", remote, tc.err)
+		}
+	}
+	if CodeOf(nil) != CodeOK {
+		t.Error("nil error must map to CodeOK")
+	}
+	if (Response{Code: CodeOK}).Err() != nil {
+		t.Error("CodeOK must reconstruct nil")
+	}
+}
+
+func TestRetryableCodes(t *testing.T) {
+	want := map[ErrCode]bool{
+		CodeOK: false, CodeUnknownKey: true, CodeDeadNode: true,
+		CodeOutOfRange: false, CodeRetry: true, CodeInvalid: false, CodeInternal: false,
+	}
+	for code, retryable := range want {
+		if code.Retryable() != retryable {
+			t.Errorf("%d.Retryable() = %v, want %v", code, !retryable, retryable)
+		}
+	}
+}
+
+func TestVerbString(t *testing.T) {
+	for v := VerbRoute; v <= verbMax; v++ {
+		if s := v.String(); strings.HasPrefix(s, "verb(") {
+			t.Errorf("verb %d has no name", v)
+		}
+		if v.String() != (v | responseFlag).String() {
+			t.Errorf("response flag changes verb %d's name", v)
+		}
+	}
+	if s := Verb(0).String(); !strings.HasPrefix(s, "verb(") {
+		t.Errorf("invalid verb renders as %q", s)
+	}
+}

@@ -1,0 +1,352 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"lsasg"
+)
+
+// Loopback integration: a real server on 127.0.0.1, a real client, and the
+// determinism contract — a trace replayed through the wire produces stats
+// byte-identical to the same trace served in-process.
+
+func startServer(t *testing.T, svc lsasg.Service, opts ...ServerOption) (*Server, *Client) {
+	t.Helper()
+	srv := NewServer(svc, opts...)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	cl, err := DialClient(lis.Addr().String(), WithTimeout(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return srv, cl
+}
+
+func TestLoopbackKVSurface(t *testing.T) {
+	nw, err := lsasg.New(32, lsasg.WithSeed(3), lsasg.WithBatchSize(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cl := startServer(t, nw)
+
+	if _, _, found, err := cl.Get(0, 9); err != nil || found {
+		t.Fatalf("get of unwritten key: found=%v err=%v", found, err)
+	}
+	ver, existed, err := cl.Put(0, 9, []byte("hello"))
+	if err != nil || !existed || ver != 1 {
+		t.Fatalf("put: version=%d existed=%v err=%v", ver, existed, err)
+	}
+	val, rver, found, err := cl.Get(3, 9)
+	if err != nil || !found || string(val) != "hello" || rver != ver {
+		t.Fatalf("get after put: %q v%d found=%v err=%v", val, rver, found, err)
+	}
+	for _, k := range []int{12, 3, 7} {
+		if _, _, err := cl.Put(1, k, []byte{byte(k)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kvs, err := cl.Scan(2, 0, 10)
+	if err != nil || len(kvs) != 4 || kvs[0].Key != 3 || kvs[3].Key != 12 {
+		t.Fatalf("scan = %v, %v", kvs, err)
+	}
+	if existed, err := cl.Delete(0, 9); err != nil || !existed {
+		t.Fatalf("delete: existed=%v err=%v", existed, err)
+	}
+	resp, err := cl.Route(4, 20)
+	if err != nil || resp.Node != 20 {
+		t.Fatalf("route: %+v, %v", resp, err)
+	}
+	if resp.Hops < 1 {
+		t.Errorf("route reported %d hops", resp.Hops)
+	}
+	if err := cl.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The remote error surface keeps its sentinels.
+	if _, _, _, err := cl.Get(0, 99); !errors.Is(err, lsasg.ErrOutOfRange) {
+		t.Errorf("out-of-range get returned %v, want ErrOutOfRange", err)
+	}
+	if _, err := cl.Scan(99, 0, 1); !errors.Is(err, lsasg.ErrOutOfRange) {
+		t.Errorf("out-of-range scan origin returned %v, want ErrOutOfRange", err)
+	}
+
+	// Stats cycles the generation and reports what it served.
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Serve.Puts != 4 || st.Serve.Deletes != 1 || st.Serve.Scans != 1 {
+		t.Errorf("serve stats: %+v", st.Serve)
+	}
+	if st.Cum.Requests == 0 {
+		t.Errorf("cumulative stats empty: %+v", st.Cum)
+	}
+
+	// And traffic keeps flowing on the next generation.
+	if _, _, err := cl.Put(5, 11, []byte("next-gen")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoopbackMembershipAdmin(t *testing.T) {
+	nw, err := lsasg.New(16, lsasg.WithSeed(5), lsasg.WithBatchSize(1),
+		lsasg.WithoutWorkingSetTracking())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cl := startServer(t, nw)
+
+	idx, err := cl.AddNode()
+	if err != nil || idx != 16 {
+		t.Fatalf("AddNode = %d, %v", idx, err)
+	}
+	// The widened keyspace is visible to edge validation immediately.
+	if _, _, err := cl.Put(0, 16, []byte("new")); err != nil {
+		t.Fatalf("put to joined node: %v", err)
+	}
+	if err := cl.RemoveNode(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The sharded service has a fixed directory: membership admin is
+	// refused, not mis-served.
+	snw, err := lsasg.NewSharded(32, lsasg.WithShards(4), lsasg.WithSeed(5),
+		lsasg.WithBatchSize(1), lsasg.WithRebalanceWindow(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, scl := startServer(t, snw)
+	if _, err := scl.AddNode(); err == nil {
+		t.Error("sharded AddNode must be refused")
+	}
+}
+
+func TestLoopbackGenerationRestart(t *testing.T) {
+	nw, err := lsasg.New(16, lsasg.WithSeed(7), lsasg.WithBatchSize(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cl := startServer(t, nw)
+
+	// Delete key 5, then route to it: the op kills its serving generation
+	// and the client's retries cannot save it — the sentinel survives.
+	if _, err := cl.Delete(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Route(1, 5); !errors.Is(err, lsasg.ErrUnknownKey) {
+		t.Fatalf("route to departed key returned %v, want ErrUnknownKey", err)
+	}
+	// The service recovered into a fresh generation.
+	if _, _, err := cl.Put(2, 9, []byte("alive")); err != nil {
+		t.Fatalf("traffic after generation restart: %v", err)
+	}
+	if err := cl.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoopbackCrashInjection(t *testing.T) {
+	nw, err := lsasg.New(16, lsasg.WithSeed(9), lsasg.WithBatchSize(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cl := startServer(t, nw)
+	if err := cl.Crash(3); err != nil {
+		t.Fatal(err)
+	}
+	// Routing straight at the crashed node trips the failure.
+	if _, err := cl.Route(1, 3); !errors.Is(err, lsasg.ErrDeadNode) {
+		t.Fatalf("route to crashed node returned %v, want ErrDeadNode", err)
+	}
+	if err := cl.Crash(99); !errors.Is(err, lsasg.ErrOutOfRange) {
+		t.Fatalf("crash of out-of-range node returned %v", err)
+	}
+}
+
+func inProcessReplay(t *testing.T, svc lsasg.Service, ops []lsasg.Op) lsasg.ServeStats {
+	t.Helper()
+	ch := make(chan lsasg.Op)
+	go func() {
+		defer close(ch)
+		for _, op := range ops {
+			ch <- op
+		}
+	}()
+	st, err := svc.ServeOps(context.Background(), ch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestReplayDeterminism(t *testing.T) {
+	const n, length, seed = 64, 400, 17
+	cases := []struct {
+		name  string
+		build func() (lsasg.Service, error)
+	}{
+		{"single", func() (lsasg.Service, error) {
+			return lsasg.New(n, lsasg.WithSeed(seed), lsasg.WithBatchSize(1))
+		}},
+		{"sharded", func() (lsasg.Service, error) {
+			return lsasg.NewSharded(n, lsasg.WithShards(4), lsasg.WithSeed(seed),
+				lsasg.WithBatchSize(1), lsasg.WithRebalanceWindow(1))
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ops := ReplayTrace(n, length, seed)
+
+			ref, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := StatsColumns(inProcessReplay(t, ref, ops))
+
+			svc, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, cl := startServer(t, svc)
+			resps, stats, err := cl.Replay(ops)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(resps) != len(ops) {
+				t.Fatalf("%d responses for %d ops", len(resps), len(ops))
+			}
+			for i, r := range resps {
+				if r.Code != CodeOK {
+					t.Fatalf("op %d (%v) failed: %s", i, r.Verb, r.Msg)
+				}
+			}
+			got := StatsColumns(stats.Serve)
+			if got != want {
+				t.Errorf("wire replay diverged from the in-process run:\n got  %s\n want %s", got, want)
+			}
+			if err := cl.Verify(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestShutdownDrains(t *testing.T) {
+	nw, err := lsasg.New(16, lsasg.WithSeed(11), lsasg.WithBatchSize(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(nw)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis)
+	cl, err := DialClient(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, _, err := cl.Put(0, 5, []byte("pre")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	// A second shutdown is a no-op, and the port no longer answers.
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("repeat shutdown: %v", err)
+	}
+	if _, err := DialClient(lis.Addr().String(), WithDialTimeout(200*time.Millisecond)); err == nil {
+		t.Error("dial after shutdown must fail")
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	return string(body)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	nw, err := lsasg.New(32, lsasg.WithSeed(13), lsasg.WithBatchSize(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, cl := startServer(t, nw)
+
+	cl.Put(0, 9, []byte("x"))
+	cl.Get(1, 9)
+	cl.Scan(2, 0, 4)
+	cl.Route(3, 20)
+	if _, err := cl.Stats(); err != nil { // cycles the generation: snapshots height
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(srv.Collector().Handler())
+	defer ts.Close()
+	body := httpGet(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		`dsg_requests_total{verb="get"} 1`,
+		`dsg_requests_total{verb="put"} 1`,
+		`dsg_requests_total{verb="scan"} 1`,
+		`dsg_requests_total{verb="route"} 1`,
+		`dsg_requests_total{verb="stats"} 1`,
+		"dsg_req_per_sec",
+		"dsg_adjust_lag_mean",
+		"dsg_route_distance_mean",
+		"dsg_shed_adjustments_total",
+		"dsg_shed_rate",
+		"dsg_rebalances_total 0",
+		"dsg_migrated_keys_total 0",
+		`dsg_kv_ops_total{op="get"} 1`,
+		`dsg_kv_hits_total{op="get"} 1`,
+		"dsg_kv_scanned_entries_total 1",
+		"dsg_generations_total 1",
+		"dsg_connections 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if !strings.Contains(body, "dsg_height ") || strings.Contains(body, "dsg_height 0") {
+		t.Errorf("dsg_height not snapshotted at the generation boundary:\n%s", body)
+	}
+	if got := httpGet(t, ts.URL+"/healthz"); !strings.Contains(got, "ok") {
+		t.Errorf("healthz = %q", got)
+	}
+}

@@ -59,8 +59,22 @@ func PutOp(src, key int, value []byte) Op {
 func DeleteOp(src, key int) Op { return Op{Kind: DeleteKind, Src: src, Dst: key} }
 
 // ScanOp builds a range read of up to limit entries from the first key ≥
-// start.
-func ScanOp(start, limit int) Op { return Op{Kind: ScanKind, Dst: start, Limit: limit} }
+// start, requested by origin src. Like every other op, a scan carries its
+// origin: src flows into the working-set bookkeeping (a scan from src
+// starting at k is the access (src, k)), though scans remain read-only and
+// never adjust the topology.
+func ScanOp(src, start, limit int) Op {
+	return Op{Kind: ScanKind, Src: src, Dst: start, Limit: limit}
+}
+
+// LegacyScanOp builds a range read with the scan's start doubling as its
+// origin — the pre-origin envelope shape, a self-access with no working-set
+// effect.
+//
+// Deprecated: use ScanOp(src, start, limit), which carries an explicit
+// origin like every other op. LegacyScanOp will be removed in the next
+// release.
+func LegacyScanOp(start, limit int) Op { return ScanOp(start, start, limit) }
 
 // KV is one scanned entry: a key, its value, and the version the value was
 // written at. The value slice is immutable — treat it as read-only.
@@ -78,6 +92,16 @@ type OpResult struct {
 	Version int64  // GetKind: version read; PutKind: version written
 	Existed bool   // PutKind: overwrote; DeleteKind: removed something
 	Entries []KV   // ScanKind: the stitched range read
+
+	// RouteDistance and RouteHops measure the op's access path in the
+	// snapshot it routed against (0 for scans, which read without routing).
+	// On a sharded run they cover the destination-shard access leg plus the
+	// boundary intermediates and forwarding hops of a cross-shard access.
+	RouteDistance int
+	RouteHops     int
+	// AdjustLag is the number of adjustments pending when the op was routed
+	// (its own included) — the worst single leg's lag on a sharded run.
+	AdjustLag int
 }
 
 func kvEntries(es []skipgraph.Entry) []KV {
@@ -101,19 +125,21 @@ func (op Op) internal() core.Op {
 	}
 }
 
-// checkOp validates one public op against the fixed key space [0, n).
-func checkOp(op Op, n int) error {
+// Validate checks the envelope against the fixed key space [0, n): every
+// endpoint must be in range (a scan's origin included) and a route must
+// connect two distinct keys. Out-of-range endpoints report
+// errors.Is(err, ErrOutOfRange). The wire server validates envelopes with
+// it before feeding them to a pipeline; library producers may use it to
+// pre-flight ops before ServeOps aborts a run on them.
+func (op Op) Validate(n int) error {
 	if op.Kind > ScanKind {
 		return fmt.Errorf("lsasg: unknown op kind %d", op.Kind)
 	}
 	if op.Dst < 0 || op.Dst >= n {
-		return fmt.Errorf("lsasg: key %d out of range [0, %d)", op.Dst, n)
-	}
-	if op.Kind == ScanKind {
-		return nil
+		return fmt.Errorf("%w: key %d not in [0, %d)", ErrOutOfRange, op.Dst, n)
 	}
 	if op.Src < 0 || op.Src >= n {
-		return fmt.Errorf("lsasg: key %d out of range [0, %d)", op.Src, n)
+		return fmt.Errorf("%w: key %d not in [0, %d)", ErrOutOfRange, op.Src, n)
 	}
 	if op.Kind == RouteKind && op.Src == op.Dst {
 		return fmt.Errorf("lsasg: source and destination are both %d", op.Src)
@@ -126,12 +152,12 @@ func checkOp(op Op, n int) error {
 // would make it. found is false when the key is absent, crashed, or was
 // never written. Not safe for concurrent use with other Network methods.
 func (nw *Network) Get(src, key int) (value []byte, version int64, found bool, err error) {
-	if err := checkOp(GetOp(src, key), nw.n); err != nil {
+	if err := GetOp(src, key).Validate(nw.n); err != nil {
 		return nil, 0, false, err
 	}
 	res, err := nw.dsg.ApplyOp(core.Op{Kind: core.OpGet, Src: int64(src), Dst: int64(key)})
 	if err != nil {
-		return nil, 0, false, err
+		return nil, 0, false, wrapErr(err)
 	}
 	nw.noteKVAccess(src, key)
 	return res.Value, res.Version, res.Found, nil
@@ -142,12 +168,12 @@ func (nw *Network) Get(src, key int) (value []byte, version int64, found bool, e
 // repaired and rejoined fresh. Returns the version assigned to the write
 // and whether the key already held a live record.
 func (nw *Network) Put(src, key int, value []byte) (version int64, existed bool, err error) {
-	if err := checkOp(PutOp(src, key, value), nw.n); err != nil {
+	if err := PutOp(src, key, value).Validate(nw.n); err != nil {
 		return 0, false, err
 	}
 	res, err := nw.dsg.ApplyOp(core.Op{Kind: core.OpPut, Src: int64(src), Dst: int64(key), Value: value})
 	if err != nil {
-		return 0, false, err
+		return 0, false, wrapErr(err)
 	}
 	nw.noteKVAccess(src, key)
 	return res.Version, res.Existed, nil
@@ -157,28 +183,30 @@ func (nw *Network) Put(src, key int, value []byte) (version int64, existed bool,
 // balance repair (or a crash repair when the key is dead). Deleting an
 // absent key is a no-op with existed == false.
 func (nw *Network) Delete(src, key int) (existed bool, err error) {
-	if err := checkOp(DeleteOp(src, key), nw.n); err != nil {
+	if err := DeleteOp(src, key).Validate(nw.n); err != nil {
 		return false, err
 	}
 	res, err := nw.dsg.ApplyOp(core.Op{Kind: core.OpDelete, Src: int64(src), Dst: int64(key)})
 	if err != nil {
-		return false, err
+		return false, wrapErr(err)
 	}
 	nw.noteKVAccess(src, key)
 	return res.Existed, nil
 }
 
 // Scan reads up to limit value-bearing entries in ascending key order,
-// starting at the first key ≥ start. Read-only: the topology does not
-// adjust.
-func (nw *Network) Scan(start, limit int) ([]KV, error) {
-	if err := checkOp(ScanOp(start, limit), nw.n); err != nil {
+// starting at the first key ≥ start, requested by origin src. Read-only:
+// the topology does not adjust, but the access feeds the working-set
+// bookkeeping like any other op.
+func (nw *Network) Scan(src, start, limit int) ([]KV, error) {
+	if err := ScanOp(src, start, limit).Validate(nw.n); err != nil {
 		return nil, err
 	}
 	res, err := nw.dsg.ApplyOp(core.Op{Kind: core.OpScan, Dst: int64(start), Limit: limit})
 	if err != nil {
-		return nil, err
+		return nil, wrapErr(err)
 	}
+	nw.noteKVAccess(src, start)
 	return kvEntries(res.Entries), nil
 }
 
@@ -203,12 +231,13 @@ func (nw *Network) ServeOps(ctx context.Context, ops <-chan Op, onResult func(Op
 		Parallelism: nw.parallelism,
 		BatchSize:   nw.batchSize,
 		OnResult: func(r serve.Result) {
-			// Sequence-order bookkeeping, identical to Request's. Scans are
-			// not pair accesses and leave the working set alone.
+			// Sequence-order bookkeeping, identical to Request's. Every op
+			// feeds the working set — a scan is the access (src, start) —
+			// but only routed accesses carry distance samples into Stats.
+			if nw.ws != nil && r.Op.Src != r.Op.Dst {
+				nw.ws.Add(int(r.Op.Src), int(r.Op.Dst))
+			}
 			if r.Op.Kind != core.OpScan {
-				if nw.ws != nil && r.Op.Src != r.Op.Dst {
-					nw.ws.Add(int(r.Op.Src), int(r.Op.Dst))
-				}
 				nw.totalRouteDistance += int64(r.RouteDistance)
 				nw.totalTransformRounds += int64(r.TransformRounds)
 				if r.RouteDistance > nw.maxRouteDistance {
@@ -218,63 +247,23 @@ func (nw *Network) ServeOps(ctx context.Context, ops <-chan Op, onResult func(Op
 			nw.requests++
 			if onResult != nil {
 				onResult(OpResult{
-					Op:      opFromInternal(r.Op),
-					Found:   r.Found,
-					Value:   r.Value,
-					Version: r.Version,
-					Existed: r.Existed,
-					Entries: kvEntries(r.Entries),
+					Op:            opFromInternal(r.Op),
+					Found:         r.Found,
+					Value:         r.Value,
+					Version:       r.Version,
+					Existed:       r.Existed,
+					Entries:       kvEntries(r.Entries),
+					RouteDistance: r.RouteDistance,
+					RouteHops:     r.RouteHops,
+					AdjustLag:     r.AdjustLag,
 				})
 			}
 		},
 	})
-
-	inner := make(chan core.Op)
-	done := make(chan struct{})
-	errc := make(chan error, 1)
-	go func() {
-		defer close(inner)
-		for {
-			select {
-			case <-done:
-				return
-			case op, ok := <-ops:
-				if !ok {
-					return
-				}
-				if err := checkOp(op, nw.n); err != nil {
-					errc <- err
-					return
-				}
-				select {
-				case inner <- op.internal():
-				case <-done:
-					return
-				}
-			}
-		}
-	}()
-	st, err := eng.Serve(ctx, inner)
-	close(done)
-	if err == nil {
-		select {
-		case err = <-errc:
-		default:
-		}
-	}
-	out := ServeStats{
-		Requests:             st.Requests,
-		Batches:              st.Batches,
-		MeanRouteDistance:    st.MeanRouteDistance(),
-		MaxRouteDistance:     st.MaxRouteDistance,
-		TotalTransformRounds: st.TotalTransformRounds,
-		MeanAdjustLag:        st.MeanAdjustLag(),
-		MaxAdjustLag:         st.MaxAdjustLag,
-		Height:               nw.dsg.Graph().Height(),
-		DummyCount:           nw.dsg.DummyCount(),
-	}
-	fillKVStats(&out, st)
-	return out, err
+	st, err := runServeOps(ops, nw.n, func(inner <-chan core.Op) (serve.Stats, error) {
+		return eng.Serve(ctx, inner)
+	})
+	return engineServeStats(st, nw.dsg.Graph().Height(), nw.dsg.DummyCount()), err
 }
 
 func opFromInternal(op core.Op) Op {
@@ -285,15 +274,4 @@ func opFromInternal(op core.Op) Op {
 		Value: op.Value,
 		Limit: op.Limit,
 	}
-}
-
-func fillKVStats(out *ServeStats, st serve.Stats) {
-	out.Gets = st.Gets
-	out.GetHits = st.GetHits
-	out.Puts = st.Puts
-	out.PutInserts = st.PutInserts
-	out.Deletes = st.Deletes
-	out.DeleteHits = st.DeleteHits
-	out.Scans = st.Scans
-	out.ScannedEntries = st.ScannedEntries
 }

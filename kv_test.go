@@ -67,16 +67,16 @@ func TestNetworkScan(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	kvs, err := nw.Scan(0, 10)
+	kvs, err := nw.Scan(1, 0, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(kvs) != 3 || kvs[0].Key != 3 || kvs[1].Key != 7 || kvs[2].Key != 12 {
 		t.Fatalf("scan = %v, want keys [3 7 12]", kvs)
 	}
-	kvs, err = nw.Scan(4, 1)
+	kvs, err = nw.Scan(1, 4, 1)
 	if err != nil || len(kvs) != 1 || kvs[0].Key != 7 {
-		t.Fatalf("scan(4,1) = %v, %v", kvs, err)
+		t.Fatalf("scan(1,4,1) = %v, %v", kvs, err)
 	}
 }
 
@@ -94,8 +94,11 @@ func TestNetworkKVErrors(t *testing.T) {
 	if _, err := nw.Delete(0, -1); err == nil {
 		t.Error("delete of negative key must fail")
 	}
-	if _, err := nw.Scan(9, 1); err == nil {
+	if _, err := nw.Scan(0, 9, 1); err == nil {
 		t.Error("scan start out of range must fail")
+	}
+	if _, err := nw.Scan(8, 0, 1); err == nil {
+		t.Error("scan origin out of range must fail")
 	}
 }
 
@@ -115,7 +118,7 @@ func TestNetworkServeOps(t *testing.T) {
 		RouteOp(3, 17),
 		GetOp(4, 10),
 		GetOp(4, 11), // never written: miss
-		ScanOp(0, 32),
+		ScanOp(7, 0, 32),
 		DeleteOp(5, 20),
 		GetOp(6, 20), // after the delete's snapshot: miss
 	}
@@ -192,7 +195,7 @@ func TestShardedKVRoundTrip(t *testing.T) {
 	if _, _, err := nw.Put(0, 8, []byte("hi")); err != nil {
 		t.Fatal(err)
 	}
-	kvs, err := nw.Scan(0, 32)
+	kvs, err := nw.Scan(1, 0, 32)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,8 +226,8 @@ func TestShardedServeOpsCrossShardScan(t *testing.T) {
 	for k := 0; k < 32; k += 4 {
 		ops = append(ops, PutOp((k+1)%32, k, []byte(fmt.Sprintf("v%d", k))))
 	}
-	ops = append(ops, ScanOp(2, 6)) // spans shards 0..3: keys 4,8,...,24
-	ops = append(ops, ScanOp(30, 8))
+	ops = append(ops, ScanOp(1, 2, 6)) // spans shards 0..3: keys 4,8,...,24
+	ops = append(ops, ScanOp(1, 30, 8))
 	ch := make(chan Op)
 	go func() {
 		defer close(ch)

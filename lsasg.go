@@ -39,6 +39,7 @@ type options struct {
 	parallelism     int
 	batchSize       int
 	shards          int
+	rebalanceWindow int
 }
 
 // WithBalance sets the a-balance parameter (≥ 2). Larger values reduce
@@ -92,6 +93,17 @@ func WithBatchSize(k int) Option {
 // throughput scales with the shard count.
 func WithShards(s int) Option {
 	return func(o *options) { o.shards = s }
+}
+
+// WithRebalanceWindow sets the sharded deterministic pipeline's window
+// length in requests (NewSharded only; default 512): after every window the
+// shard engines drain to a barrier where KV outcomes are assembled and the
+// skew-driven rebalancer may migrate one key range. Smaller windows deliver
+// ServeOps outcomes sooner (a window of 1 delivers every op's result before
+// the next op dispatches — what a synchronous wire client needs) at the
+// cost of more frequent barriers.
+func WithRebalanceWindow(w int) Option {
+	return func(o *options) { o.rebalanceWindow = w }
 }
 
 // Result reports one served request.
@@ -191,7 +203,7 @@ func (nw *Network) Request(src, dst int) (Result, error) {
 	}
 	r, err := nw.dsg.Serve(int64(src), int64(dst))
 	if err != nil {
-		return Result{}, err
+		return Result{}, wrapErr(err)
 	}
 	nw.requests++
 	nw.totalRouteDistance += int64(r.RouteDistance)
@@ -222,7 +234,7 @@ func (nw *Network) Distance(src, dst int) (int, error) {
 	}
 	route, err := nw.dsg.Graph().RouteKeys(skipgraph.KeyOf(int64(src)), skipgraph.KeyOf(int64(dst)))
 	if err != nil {
-		return 0, err
+		return 0, wrapErr(err)
 	}
 	return route.Distance(), nil
 }
@@ -304,7 +316,7 @@ func (nw *Network) AddNode() (int, error) {
 	}
 	id := int64(nw.n)
 	if _, err := nw.dsg.Add(id); err != nil {
-		return 0, err
+		return 0, wrapErr(err)
 	}
 	nw.n++
 	return int(id), nil
@@ -316,7 +328,19 @@ func (nw *Network) RemoveNode(idx int) error {
 	if nw.ws != nil {
 		return fmt.Errorf("lsasg: RemoveNode requires WithoutWorkingSetTracking")
 	}
-	return nw.dsg.RemoveNode(int64(idx))
+	return wrapErr(nw.dsg.RemoveNode(int64(idx)))
+}
+
+// Crash injects a crash failure: the node fails in place with dangling
+// neighbour references, exactly as if its process died. Requests that run
+// into the corpse report ErrDeadNode until a repair splices it out; the
+// data plane repairs crashed keys on Put and Delete. Like every other
+// method, Crash must not run concurrently with a Serve call.
+func (nw *Network) Crash(idx int) error {
+	if err := nw.checkIndex(idx); err != nil {
+		return err
+	}
+	return wrapErr(nw.dsg.Crash(int64(idx)))
 }
 
 // RenderTopology writes the tree-of-linked-lists view of the current
@@ -328,7 +352,7 @@ func (nw *Network) RenderTopology(w io.Writer) {
 
 func (nw *Network) checkIndex(i int) error {
 	if i < 0 || i >= nw.n {
-		return fmt.Errorf("lsasg: node index %d out of range [0, %d)", i, nw.n)
+		return fmt.Errorf("%w: node index %d not in [0, %d)", ErrOutOfRange, i, nw.n)
 	}
 	return nil
 }

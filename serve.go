@@ -2,9 +2,7 @@ package lsasg
 
 import (
 	"context"
-	"fmt"
 
-	"lsasg/internal/core"
 	"lsasg/internal/serve"
 )
 
@@ -71,6 +69,30 @@ type ServeStats struct {
 	ScannedEntries int64 // entries returned across all scans
 }
 
+// engineServeStats folds one engine pipeline run into the public shape —
+// the single assembly point shared by Serve and ServeOps.
+func engineServeStats(st serve.Stats, height, dummies int) ServeStats {
+	return ServeStats{
+		Requests:             st.Requests,
+		Batches:              st.Batches,
+		MeanRouteDistance:    st.MeanRouteDistance(),
+		MaxRouteDistance:     st.MaxRouteDistance,
+		TotalTransformRounds: st.TotalTransformRounds,
+		MeanAdjustLag:        st.MeanAdjustLag(),
+		MaxAdjustLag:         st.MaxAdjustLag,
+		Height:               height,
+		DummyCount:           dummies,
+		Gets:                 st.Gets,
+		GetHits:              st.GetHits,
+		Puts:                 st.Puts,
+		PutInserts:           st.PutInserts,
+		Deletes:              st.Deletes,
+		DeleteHits:           st.DeleteHits,
+		Scans:                st.Scans,
+		ScannedEntries:       st.ScannedEntries,
+	}
+}
+
 // Serve consumes communication requests from the channel until it closes (or
 // ctx is cancelled) and serves them through the concurrent engine: requests
 // are routed in parallel — WithParallelism workers reading an immutable
@@ -106,80 +128,8 @@ type ServeStats struct {
 //	}
 //
 // and the caller should cancel ctx once Serve has returned (defer cancel()).
+//
+// Serve is exactly ServeOps over a pure-route stream.
 func (nw *Network) Serve(ctx context.Context, reqs <-chan Pair) (ServeStats, error) {
-	eng := serve.New(nw.dsg, serve.Config{
-		Parallelism: nw.parallelism,
-		BatchSize:   nw.batchSize,
-		OnResult: func(r serve.Result) {
-			// Sequence-order bookkeeping, identical to Request's.
-			if nw.ws != nil {
-				nw.ws.Add(int(r.Op.Src), int(r.Op.Dst))
-			}
-			nw.requests++
-			nw.totalRouteDistance += int64(r.RouteDistance)
-			nw.totalTransformRounds += int64(r.TransformRounds)
-			if r.RouteDistance > nw.maxRouteDistance {
-				nw.maxRouteDistance = r.RouteDistance
-			}
-		},
-	})
-
-	inner := make(chan core.Op)
-	done := make(chan struct{})
-	errc := make(chan error, 1)
-	go func() {
-		defer close(inner)
-		for {
-			select {
-			case <-done:
-				return
-			case p, ok := <-reqs:
-				if !ok {
-					return
-				}
-				if err := nw.checkPair(p); err != nil {
-					errc <- err
-					return
-				}
-				select {
-				case inner <- core.RouteOp(int64(p.Src), int64(p.Dst)):
-				case <-done:
-					return
-				}
-			}
-		}
-	}()
-	st, err := eng.Serve(ctx, inner)
-	close(done)
-	if err == nil {
-		select {
-		case err = <-errc:
-		default:
-		}
-	}
-	return ServeStats{
-		Requests:             st.Requests,
-		Batches:              st.Batches,
-		MeanRouteDistance:    st.MeanRouteDistance(),
-		MaxRouteDistance:     st.MaxRouteDistance,
-		TotalTransformRounds: st.TotalTransformRounds,
-		MeanAdjustLag:        st.MeanAdjustLag(),
-		MaxAdjustLag:         st.MaxAdjustLag,
-		Height:               nw.dsg.Graph().Height(),
-		DummyCount:           nw.dsg.DummyCount(),
-	}, err
-}
-
-// checkPair validates one Serve request.
-func (nw *Network) checkPair(p Pair) error {
-	if err := nw.checkIndex(p.Src); err != nil {
-		return err
-	}
-	if err := nw.checkIndex(p.Dst); err != nil {
-		return err
-	}
-	if p.Src == p.Dst {
-		return fmt.Errorf("lsasg: source and destination are both %d", p.Src)
-	}
-	return nil
+	return forwardPairs(ctx, reqs, nw.ServeOps)
 }

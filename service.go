@@ -1,0 +1,128 @@
+package lsasg
+
+import (
+	"context"
+
+	"lsasg/internal/core"
+)
+
+// Service is the unified serving contract of this package: one surface for
+// topology queries, the synchronous KV data plane, and the deterministic
+// batch pipelines, implemented by both the single-graph Network and the
+// partitioned ShardedNetwork. Code written against Service — a benchmark
+// driver, an example, or the wire daemon in cmd/dsgserve — fronts either
+// topology unchanged.
+//
+// The concurrency contract is the implementations': methods must not be
+// called concurrently with each other (all concurrency lives inside Serve
+// and ServeOps), and Serve/ServeOps producers must pair every channel send
+// with the call's ctx.
+type Service interface {
+	// N returns the size of the key space [0, N).
+	N() int
+	// Height returns the current skip-graph height (the tallest shard's,
+	// when partitioned).
+	Height() int
+	// Stats returns aggregate statistics for the requests served so far.
+	Stats() Stats
+	// Verify checks all structural invariants of the current topology.
+	Verify() error
+
+	// Get reads key's value as an access from src, adapting the topology
+	// like a communication request.
+	Get(src, key int) (value []byte, version int64, found bool, err error)
+	// Put writes value to key as an access from src; an absent key joins
+	// the topology.
+	Put(src, key int, value []byte) (version int64, existed bool, err error)
+	// Delete removes key from the keyspace (a tracked leave).
+	Delete(src, key int) (existed bool, err error)
+	// Scan reads up to limit value-bearing entries in ascending key order
+	// starting at the first key ≥ start, requested by origin src.
+	Scan(src, start, limit int) ([]KV, error)
+
+	// Serve consumes communication requests until the channel closes (or
+	// ctx is cancelled) and serves them through the deterministic pipeline.
+	Serve(ctx context.Context, reqs <-chan Pair) (ServeStats, error)
+	// ServeOps consumes op envelopes — routes and KV operations — through
+	// the same pipeline; onResult, when non-nil, observes every op's
+	// outcome in request order.
+	ServeOps(ctx context.Context, ops <-chan Op, onResult func(OpResult)) (ServeStats, error)
+}
+
+// Both topologies implement the full contract.
+var (
+	_ Service = (*Network)(nil)
+	_ Service = (*ShardedNetwork)(nil)
+)
+
+// runServeOps is the shared driver behind every ServeOps implementation: it
+// validates public envelopes, forwards them as internal ops to serveFn
+// (one deterministic pipeline run), and folds a validation failure into the
+// returned error once the pipeline has drained the batches already in
+// flight.
+func runServeOps[S any](ops <-chan Op, n int, serveFn func(<-chan core.Op) (S, error)) (S, error) {
+	inner := make(chan core.Op)
+	done := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		defer close(inner)
+		for {
+			select {
+			case <-done:
+				return
+			case op, ok := <-ops:
+				if !ok {
+					return
+				}
+				if err := op.Validate(n); err != nil {
+					errc <- err
+					return
+				}
+				select {
+				case inner <- op.internal():
+				case <-done:
+					return
+				}
+			}
+		}
+	}()
+	st, err := serveFn(inner)
+	close(done)
+	if err == nil {
+		select {
+		case err = <-errc:
+		default:
+		}
+	}
+	return st, wrapErr(err)
+}
+
+// forwardPairs adapts a Pair producer onto ServeOps: Serve is exactly
+// ServeOps over a pure-route stream, so both implementations express it
+// this way and the stats/bookkeeping assembly lives in one place.
+func forwardPairs(ctx context.Context, reqs <-chan Pair,
+	serveOps func(context.Context, <-chan Op, func(OpResult)) (ServeStats, error)) (ServeStats, error) {
+	ops := make(chan Op)
+	done := make(chan struct{})
+	go func() {
+		defer close(ops)
+		for {
+			select {
+			case <-done:
+				return
+			case p, ok := <-reqs:
+				if !ok {
+					return
+				}
+				select {
+				case ops <- RouteOp(p.Src, p.Dst):
+				case <-done:
+					return
+				}
+			}
+		}
+	}()
+	st, err := serveOps(ctx, ops, nil)
+	close(done)
+	return st, err
+}

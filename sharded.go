@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 
-	"lsasg/internal/core"
 	"lsasg/internal/shard"
 	"lsasg/internal/workingset"
 )
@@ -58,11 +57,12 @@ func NewSharded(n int, opts ...Option) (*ShardedNetwork, error) {
 		nw.ws = workingset.NewBound(n)
 	}
 	svc, err := shard.New(n, shard.Config{
-		Shards:      o.shards,
-		A:           o.balance,
-		Seed:        o.seed,
-		Parallelism: o.parallelism,
-		BatchSize:   o.batchSize,
+		Shards:         o.shards,
+		A:              o.balance,
+		Seed:           o.seed,
+		Parallelism:    o.parallelism,
+		BatchSize:      o.batchSize,
+		RebalanceEvery: o.rebalanceWindow,
 		OnRequest: func(src, dst int64, cross bool) {
 			// Sequence-order bookkeeping, mirroring Network.Serve's. KV ops
 			// may be self-accesses (src == dst), which the bound tracker
@@ -115,30 +115,10 @@ func (nw *ShardedNetwork) DummyCount() int { return nw.svc.DummyCount() }
 //
 // The producer contract is the same as Network.Serve: pair every send with
 // the same ctx and cancel it once Serve returns.
+//
+// Serve is exactly ServeOps over a pure-route stream.
 func (nw *ShardedNetwork) Serve(ctx context.Context, reqs <-chan Pair) (ServeStats, error) {
-	inner := make(chan core.Op)
-	done := make(chan struct{})
-	go func() {
-		defer close(inner)
-		for {
-			select {
-			case <-done:
-				return
-			case p, ok := <-reqs:
-				if !ok {
-					return
-				}
-				select {
-				case inner <- core.RouteOp(int64(p.Src), int64(p.Dst)):
-				case <-done:
-					return
-				}
-			}
-		}
-	}()
-	st, err := nw.svc.Serve(ctx, inner)
-	close(done)
-	return nw.serveStatsFrom(st), err
+	return forwardPairs(ctx, reqs, nw.ServeOps)
 }
 
 // serveStatsFrom folds one sharded run's statistics into the public shape
@@ -161,6 +141,14 @@ func (nw *ShardedNetwork) serveStatsFrom(st shard.ServeStats) ServeStats {
 		CrossShardRequests:   st.Cross,
 		Rebalances:           st.Rebalances,
 		MigratedKeys:         st.MovedKeys,
+		Gets:                 st.Gets,
+		GetHits:              st.GetHits,
+		Puts:                 st.Puts,
+		PutInserts:           st.PutInserts,
+		Deletes:              st.Deletes,
+		DeleteHits:           st.DeleteHits,
+		Scans:                st.Scans,
+		ScannedEntries:       st.ScannedEntries,
 	}
 	if st.Requests > 0 {
 		out.MeanRouteDistance = float64(st.TotalRouteDistance) / float64(st.Requests)
@@ -193,4 +181,14 @@ func (nw *ShardedNetwork) Stats() Stats {
 		s.WorkingSetBound = nw.ws.Total()
 	}
 	return s
+}
+
+// Verify checks all structural invariants of every shard's topology.
+func (nw *ShardedNetwork) Verify() error { return nw.svc.Verify() }
+
+// Crash injects a crash failure: the node fails in place on whichever shard
+// the current directory assigns it, with dangling neighbour references until
+// a repair splices it out. Must not run concurrently with a Serve call.
+func (nw *ShardedNetwork) Crash(idx int) error {
+	return wrapErr(nw.svc.CrashIdle(int64(idx)))
 }

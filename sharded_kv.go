@@ -18,12 +18,12 @@ import (
 // Get reads key's value as an access from src. Synchronous: the service
 // must not be in free-running mode (Start) or mid-Serve.
 func (nw *ShardedNetwork) Get(src, key int) (value []byte, version int64, found bool, err error) {
-	if err := checkOp(GetOp(src, key), nw.n); err != nil {
+	if err := GetOp(src, key).Validate(nw.n); err != nil {
 		return nil, 0, false, err
 	}
 	o, err := nw.svc.Apply(core.Op{Kind: core.OpGet, Src: int64(src), Dst: int64(key)})
 	if err != nil {
-		return nil, 0, false, err
+		return nil, 0, false, wrapErr(err)
 	}
 	nw.noteKVAccess(src, key)
 	return o.Value, o.Version, o.Found, nil
@@ -32,12 +32,12 @@ func (nw *ShardedNetwork) Get(src, key int) (value []byte, version int64, found 
 // Put writes value to key as an access from src; an absent key joins the
 // owning shard's topology.
 func (nw *ShardedNetwork) Put(src, key int, value []byte) (version int64, existed bool, err error) {
-	if err := checkOp(PutOp(src, key, value), nw.n); err != nil {
+	if err := PutOp(src, key, value).Validate(nw.n); err != nil {
 		return 0, false, err
 	}
 	o, err := nw.svc.Apply(core.Op{Kind: core.OpPut, Src: int64(src), Dst: int64(key), Value: value})
 	if err != nil {
-		return 0, false, err
+		return 0, false, wrapErr(err)
 	}
 	nw.noteKVAccess(src, key)
 	return o.Version, o.Existed, nil
@@ -46,27 +46,30 @@ func (nw *ShardedNetwork) Put(src, key int, value []byte) (version int64, existe
 // Delete removes key from its owning shard (a tracked leave). Deleting an
 // absent key is a no-op with existed == false.
 func (nw *ShardedNetwork) Delete(src, key int) (existed bool, err error) {
-	if err := checkOp(DeleteOp(src, key), nw.n); err != nil {
+	if err := DeleteOp(src, key).Validate(nw.n); err != nil {
 		return false, err
 	}
 	o, err := nw.svc.Apply(core.Op{Kind: core.OpDelete, Src: int64(src), Dst: int64(key)})
 	if err != nil {
-		return false, err
+		return false, wrapErr(err)
 	}
 	nw.noteKVAccess(src, key)
 	return o.Existed, nil
 }
 
 // Scan reads up to limit value-bearing entries in ascending key order
-// starting at the first key ≥ start, stitching across shard boundaries.
-func (nw *ShardedNetwork) Scan(start, limit int) ([]KV, error) {
-	if err := checkOp(ScanOp(start, limit), nw.n); err != nil {
+// starting at the first key ≥ start, requested by origin src, stitching
+// across shard boundaries. Read-only, but the access feeds the working-set
+// bookkeeping like any other op.
+func (nw *ShardedNetwork) Scan(src, start, limit int) ([]KV, error) {
+	if err := ScanOp(src, start, limit).Validate(nw.n); err != nil {
 		return nil, err
 	}
-	o, err := nw.svc.Apply(core.Op{Kind: core.OpScan, Dst: int64(start), Limit: limit})
+	o, err := nw.svc.Apply(core.Op{Kind: core.OpScan, Src: int64(src), Dst: int64(start), Limit: limit})
 	if err != nil {
-		return nil, err
+		return nil, wrapErr(err)
 	}
+	nw.noteKVAccess(src, start)
 	return kvEntries(o.Entries), nil
 }
 
@@ -82,64 +85,28 @@ func (nw *ShardedNetwork) noteKVAccess(src, key int) {
 // channel closes (or ctx is cancelled) and serves them through the sharded
 // deterministic pipeline. Cross-shard scans fan one leg per intersecting
 // shard and stitch the fragments at the window barrier, where every leg has
-// completed; onResult, when non-nil, receives each KV op's assembled
-// outcome there, in dispatch order (route ops produce no outcome). The
-// producer contract matches Serve's.
+// completed; onResult, when non-nil, receives every op's assembled outcome
+// there — routes included, matching Network.ServeOps — in dispatch order.
+// The producer contract matches Serve's.
 func (nw *ShardedNetwork) ServeOps(ctx context.Context, ops <-chan Op, onResult func(OpResult)) (ServeStats, error) {
 	if onResult != nil {
 		nw.onOutcome = func(o shard.Outcome) {
 			onResult(OpResult{
-				Op:      opFromInternal(o.Op),
-				Found:   o.Found,
-				Value:   o.Value,
-				Version: o.Version,
-				Existed: o.Existed,
-				Entries: kvEntries(o.Entries),
+				Op:            opFromInternal(o.Op),
+				Found:         o.Found,
+				Value:         o.Value,
+				Version:       o.Version,
+				Existed:       o.Existed,
+				Entries:       kvEntries(o.Entries),
+				RouteDistance: o.RouteDistance,
+				RouteHops:     o.RouteHops,
+				AdjustLag:     o.AdjustLag,
 			})
 		}
 		defer func() { nw.onOutcome = nil }()
 	}
-	inner := make(chan core.Op)
-	done := make(chan struct{})
-	errc := make(chan error, 1)
-	go func() {
-		defer close(inner)
-		for {
-			select {
-			case <-done:
-				return
-			case op, ok := <-ops:
-				if !ok {
-					return
-				}
-				if err := checkOp(op, nw.n); err != nil {
-					errc <- err
-					return
-				}
-				select {
-				case inner <- op.internal():
-				case <-done:
-					return
-				}
-			}
-		}
-	}()
-	st, err := nw.svc.Serve(ctx, inner)
-	close(done)
-	if err == nil {
-		select {
-		case err = <-errc:
-		default:
-		}
-	}
-	out := nw.serveStatsFrom(st)
-	out.Gets = st.Gets
-	out.GetHits = st.GetHits
-	out.Puts = st.Puts
-	out.PutInserts = st.PutInserts
-	out.Deletes = st.Deletes
-	out.DeleteHits = st.DeleteHits
-	out.Scans = st.Scans
-	out.ScannedEntries = st.ScannedEntries
-	return out, err
+	st, err := runServeOps(ops, nw.n, func(inner <-chan core.Op) (shard.ServeStats, error) {
+		return nw.svc.Serve(ctx, inner)
+	})
+	return nw.serveStatsFrom(st), err
 }
