@@ -20,6 +20,14 @@
 //
 //	benchdiff -old base.txt -new head.txt -match 'E10|E13|E16|E17' \
 //	  -memmatch 'SnapshotPublish' -threshold 0.25
+//
+// A second, baseline-free mode gates two lanes of one run against each
+// other: -pair 'BASE,CANDIDATE' compares the candidate's ns/op (minimum
+// across counts) against the base lane within the -new file alone, failing
+// beyond -pairthreshold. Both lanes come from the same binary and the same
+// invocation, so the usual cross-run noise floor does not apply and the
+// threshold can be far tighter — the obs-overhead gate runs at 5%. -old is
+// optional when -pair is given; with both, the cross-run gate runs too.
 package main
 
 import (
@@ -36,15 +44,20 @@ import (
 
 func main() {
 	var (
-		oldPath   = flag.String("old", "", "baseline `go test -bench` output (merge-base)")
-		newPath   = flag.String("new", "", "candidate `go test -bench` output (PR head)")
-		match     = flag.String("match", "", "regexp selecting the gated benchmarks (empty = all)")
-		memMatch  = flag.String("memmatch", "", "regexp selecting benchmarks whose B/op and allocs/op are also gated (empty = none)")
-		threshold = flag.Float64("threshold", 0.25, "maximum tolerated regression per gated metric (0.25 = +25%)")
+		oldPath       = flag.String("old", "", "baseline `go test -bench` output (merge-base)")
+		newPath       = flag.String("new", "", "candidate `go test -bench` output (PR head)")
+		match         = flag.String("match", "", "regexp selecting the gated benchmarks (empty = all)")
+		memMatch      = flag.String("memmatch", "", "regexp selecting benchmarks whose B/op and allocs/op are also gated (empty = none)")
+		threshold     = flag.Float64("threshold", 0.25, "maximum tolerated regression per gated metric (0.25 = +25%)")
+		pair          = flag.String("pair", "", "'BASE,CANDIDATE': gate candidate ns/op against base within the -new file alone")
+		pairThreshold = flag.Float64("pairthreshold", 0.05, "maximum tolerated ns/op overhead of the -pair candidate over its base (0.05 = +5%)")
 	)
 	flag.Parse()
-	if *oldPath == "" || *newPath == "" {
-		fail("both -old and -new are required")
+	if *newPath == "" {
+		fail("-new is required")
+	}
+	if *oldPath == "" && *pair == "" {
+		fail("-old is required unless -pair is given")
 	}
 	re, err := regexp.Compile(*match)
 	if err != nil {
@@ -56,23 +69,65 @@ func main() {
 			fail("bad -memmatch regexp: %v", err)
 		}
 	}
-	oldRes, err := parseFile(*oldPath)
-	if err != nil {
-		fail("%v", err)
-	}
 	newRes, err := parseFile(*newPath)
 	if err != nil {
 		fail("%v", err)
 	}
 
-	verdicts, failed := compare(oldRes, newRes, re, memRe, *threshold)
-	for _, v := range verdicts {
-		fmt.Println(v)
+	failed := 0
+	if *oldPath != "" {
+		oldRes, err := parseFile(*oldPath)
+		if err != nil {
+			fail("%v", err)
+		}
+		verdicts, n := compare(oldRes, newRes, re, memRe, *threshold)
+		for _, v := range verdicts {
+			fmt.Println(v)
+		}
+		failed += n
+	}
+	if *pair != "" {
+		verdict, ok := comparePair(newRes, *pair, *pairThreshold)
+		fmt.Println(verdict)
+		if !ok {
+			failed++
+		}
 	}
 	if failed > 0 {
-		fail("%d gated metric(s) regressed by more than %.0f%%", failed, *threshold*100)
+		fail("%d gated metric(s) regressed beyond their threshold", failed)
 	}
-	fmt.Printf("benchdiff: no gated benchmark regressed by more than %.0f%%\n", *threshold*100)
+	fmt.Println("benchdiff: no gated benchmark regressed beyond its threshold")
+}
+
+// comparePair gates one lane against another inside a single run: both
+// minimums come from the -new file, so there is no cross-run noise floor.
+func comparePair(res samples, pair string, threshold float64) (string, bool) {
+	parts := strings.SplitN(pair, ",", 2)
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		fail("bad -pair %q: want 'BASE,CANDIDATE'", pair)
+	}
+	base, cand := parts[0], parts[1]
+	baseVs, okB := res[base]["ns/op"]
+	candVs, okC := res[cand]["ns/op"]
+	switch {
+	case !okB && !okC:
+		return fmt.Sprintf("GONE  pair lanes %s and %s missing from the run", base, cand), false
+	case !okB:
+		return fmt.Sprintf("GONE  pair base lane %s missing from the run", base), false
+	case !okC:
+		return fmt.Sprintf("GONE  pair candidate lane %s missing from the run", cand), false
+	}
+	b, c := minOf(baseVs), minOf(candVs)
+	if b == 0 {
+		return fmt.Sprintf("FAIL  pair base lane %s reported 0 ns/op", base), false
+	}
+	delta := c/b - 1
+	status, ok := "OK   ", true
+	if delta > threshold {
+		status, ok = "FAIL ", false
+	}
+	return fmt.Sprintf("%s %-50s %12.1f → %12.1f ns/op  %+6.1f%% (pair, limit %+.0f%%)",
+		status, cand+" vs "+base, b, c, delta*100, threshold*100), ok
 }
 
 func fail(format string, args ...interface{}) {

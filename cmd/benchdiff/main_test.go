@@ -178,3 +178,30 @@ PASS
 		t.Errorf("dropped -benchmem columns: failed=%d, want 2", failed)
 	}
 }
+
+func TestComparePair(t *testing.T) {
+	run := `goos: linux
+BenchmarkServeObsOverhead/obs=off-4   150000  3700 ns/op
+BenchmarkServeObsOverhead/obs=off-4   140000  3650 ns/op
+BenchmarkServeObsOverhead/obs=on-4    140000  3900 ns/op
+BenchmarkServeObsOverhead/obs=on-4    130000  3790 ns/op
+PASS
+`
+	res := parseString(t, run)
+	base, cand := "BenchmarkServeObsOverhead/obs=off", "BenchmarkServeObsOverhead/obs=on"
+
+	// mins: 3650 vs 3790 = +3.8%, inside a 5% gate and outside a 3% one.
+	if v, ok := comparePair(res, base+","+cand, 0.05); !ok {
+		t.Errorf("pair within threshold failed: %s", v)
+	}
+	if v, ok := comparePair(res, base+","+cand, 0.03); ok {
+		t.Errorf("pair beyond threshold passed: %s", v)
+	}
+	// A missing lane fails rather than silently passing.
+	if v, ok := comparePair(res, base+",BenchmarkNope", 0.05); ok {
+		t.Errorf("missing candidate lane passed: %s", v)
+	}
+	if v, ok := comparePair(res, "BenchmarkNope,"+cand, 0.05); ok {
+		t.Errorf("missing base lane passed: %s", v)
+	}
+}

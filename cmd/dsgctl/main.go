@@ -11,6 +11,7 @@
 //	dsgctl route 3 17                    # serve one communication request
 //	dsgctl stats                         # cycle the generation, print stats
 //	dsgctl replay -len 512 -trace-seed 7 # seeded trace, deterministic columns
+//	dsgctl trace -limit 8                # p50/p99 per verb + slowest spans
 //	dsgctl crash 4 | verify | addnode | removenode 4
 package main
 
@@ -19,12 +20,14 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"time"
 
+	"lsasg/internal/obs"
 	"lsasg/internal/wire"
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dsgctl [-addr host:port] <get|put|delete|scan|route|stats|replay|crash|verify|addnode|removenode> [args]")
+	fmt.Fprintln(os.Stderr, "usage: dsgctl [-addr host:port] <get|put|delete|scan|route|stats|replay|trace|crash|verify|addnode|removenode> [args]")
 	os.Exit(2)
 }
 
@@ -49,12 +52,19 @@ func main() {
 	traceN := flag.Int("n", 256, "replay: the daemon's keyspace size")
 	traceLen := flag.Int("len", 512, "replay: trace length")
 	traceSeed := flag.Int64("trace-seed", 1, "replay: trace seed")
+	spanLimit := flag.Int("limit", 16, "trace: max spans to dump (0 for all retained)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() == 0 {
 		usage()
 	}
 	cmd, args := flag.Arg(0), flag.Args()[1:]
+	// Accept flags on either side of the subcommand (`dsgctl -limit 8 trace`
+	// and `dsgctl trace -limit 8` both work): re-parse what follows it.
+	if err := flag.CommandLine.Parse(args); err != nil {
+		usage()
+	}
+	args = flag.CommandLine.Args()
 
 	cl, err := wire.DialClient(*addr)
 	if err != nil {
@@ -130,6 +140,36 @@ func main() {
 		fmt.Printf("replayed %d ops (%d failed)\n", len(resps), failures)
 		fmt.Printf("columns: %s\n", wire.StatsColumns(st.Serve))
 		printStats(st)
+	case "trace":
+		spans, lats, err := cl.TraceDump(*spanLimit)
+		if err != nil {
+			fail("%v", err)
+		}
+		for _, l := range lats {
+			if l.Count == 0 {
+				continue
+			}
+			fmt.Printf("%-7s n=%-8d p50=%-12v p99=%v\n", obs.KindName(l.Kind),
+				l.Count, time.Duration(l.P50Nanos), time.Duration(l.P99Nanos))
+		}
+		for i, s := range spans {
+			kind := obs.KindName(s.Kind)
+			mark := ""
+			if s.Cross {
+				mark = " cross"
+			}
+			if s.RouteMiss {
+				mark += " miss"
+			}
+			fmt.Printf("#%d seq=%d %s %d→%d total=%v epoch=%d dist=%d hops=%d lag=%d%s\n",
+				i+1, s.Seq, kind, s.Src, s.Dst, time.Duration(s.TotalNanos),
+				s.Epoch, s.RouteDistance, s.RouteHops, s.AdjustLag, mark)
+			for _, leg := range s.Legs {
+				fmt.Printf("    leg shard=%d dist=%d hops=%d lag=%d epoch=%d %v\n",
+					leg.Shard, leg.Distance, leg.Hops, leg.AdjustLag, leg.Epoch, time.Duration(leg.Nanos))
+			}
+		}
+		fmt.Printf("(%d spans)\n", len(spans))
 	case "crash":
 		if err := cl.Crash(argInt(args, 0, "node")); err != nil {
 			fail("%v", err)

@@ -16,6 +16,8 @@
 //	dsgserve -n 1024 -shards 8        # sharded service
 //	dsgserve -addr :7000 -metrics ""  # custom port, observability off
 //	dsgserve -seed 7 -balance 3      # deterministic stream, a-balance a=3
+//	dsgserve -pprof                   # live profiles under /debug/pprof/
+//	dsgserve -trace=false             # drop span/histogram instrumentation
 package main
 
 import (
@@ -25,12 +27,14 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // profiles gated behind -pprof; see the mux graft below
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"lsasg"
+	"lsasg/internal/obs"
 	"lsasg/internal/wire"
 )
 
@@ -47,6 +51,8 @@ func main() {
 		parallelism = flag.Int("parallelism", 1, "routing workers per pipeline run")
 		membership  = flag.Bool("membership", false, "enable AddNode/RemoveNode admin (disables working-set tracking)")
 		drainFor    = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget before connections are cut")
+		trace       = flag.Bool("trace", true, "record op spans and latency histograms (TraceDump, dsgctl trace)")
+		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the metrics address")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -63,6 +69,9 @@ func main() {
 	if *membership {
 		opts = append(opts, lsasg.WithoutWorkingSetTracking())
 	}
+	if *trace {
+		opts = append(opts, lsasg.WithTracing())
+	}
 
 	var svc lsasg.Service
 	var err error
@@ -76,7 +85,14 @@ func main() {
 		log.Fatal(err)
 	}
 
-	srv := wire.NewServer(svc)
+	var srvOpts []wire.ServerOption
+	var tracer *obs.Tracer
+	if tp, ok := svc.(interface{ Tracer() *obs.Tracer }); ok {
+		if tracer = tp.Tracer(); tracer != nil {
+			srvOpts = append(srvOpts, wire.WithTracer(tracer))
+		}
+	}
+	srv := wire.NewServer(svc, srvOpts...)
 	lis, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
@@ -85,7 +101,18 @@ func main() {
 
 	var metricsSrv *http.Server
 	if *metricsAddr != "" {
-		metricsSrv = &http.Server{Addr: *metricsAddr, Handler: srv.Collector().Handler()}
+		handler := srv.Collector().Handler()
+		if *pprofOn {
+			// The pprof package registers on http.DefaultServeMux at import;
+			// graft that mux under /debug/pprof/ so profiles share the
+			// metrics port without exposing them by default.
+			outer := http.NewServeMux()
+			outer.Handle("/", handler)
+			outer.Handle("/debug/pprof/", http.DefaultServeMux)
+			handler = outer
+			log.Printf("pprof on http://%s/debug/pprof/", *metricsAddr)
+		}
+		metricsSrv = &http.Server{Addr: *metricsAddr, Handler: handler}
 		go func() {
 			if err := metricsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("metrics endpoint: %v", err)
@@ -120,6 +147,15 @@ func main() {
 	}
 	if err := svc.Verify(); err != nil {
 		log.Fatalf("post-drain verify: %v", err)
+	}
+	if tracer != nil {
+		for _, l := range tracer.VerbLatencies() {
+			if l.Count == 0 {
+				continue
+			}
+			log.Printf("latency %s: n=%d p50=%v p99=%v", obs.KindName(l.Kind),
+				l.Count, time.Duration(l.P50Nanos), time.Duration(l.P99Nanos))
+		}
 	}
 	fmt.Fprintln(os.Stderr, "dsgserve: drained cleanly")
 }

@@ -10,15 +10,18 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"time"
 
 	"lsasg"
+	"lsasg/internal/obs"
 )
 
 func main() {
 	const n = 128
 	nw, err := lsasg.New(n, lsasg.WithSeed(42),
 		lsasg.WithParallelism(4), // routing workers (snapshot readers)
-		lsasg.WithBatchSize(32))  // adjustments per snapshot publication
+		lsasg.WithBatchSize(32),  // adjustments per snapshot publication
+		lsasg.WithTracing())      // latency histograms + slow-span ring
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,6 +46,28 @@ func main() {
 	for _, p := range [][2]int{{3, 90}, {17, 64}} {
 		if ok, lvl := nw.DirectlyLinked(p[0], p[1]); ok {
 			fmt.Printf("hot pair %d↔%d directly linked at level %d\n", p[0], p[1], lvl)
+		}
+	}
+
+	// The tracer measured the run as it happened: per-verb latency quantiles
+	// from the log₂-bucket histograms, and the slowest op with its per-leg
+	// breakdown from the span ring. These are wall-clock numbers — they vary
+	// run to run, unlike the deterministic stats columns above.
+	tr := nw.Tracer()
+	for _, l := range tr.VerbLatencies() {
+		if l.Count == 0 {
+			continue
+		}
+		fmt.Printf("latency %s: n=%d p50=%v p99=%v\n", obs.KindName(l.Kind),
+			l.Count, time.Duration(l.P50Nanos), time.Duration(l.P99Nanos))
+	}
+	for _, s := range tr.SlowSpans(1) {
+		fmt.Printf("slowest op: seq=%d %s %d→%d total=%v dist=%d hops=%d lag=%d\n",
+			s.Seq, obs.KindName(s.Kind), s.Src, s.Dst,
+			time.Duration(s.TotalNanos), s.RouteDistance, s.RouteHops, s.AdjustLag)
+		for _, leg := range s.Legs {
+			fmt.Printf("  leg shard=%d dist=%d hops=%d lag=%d %v\n",
+				leg.Shard, leg.Distance, leg.Hops, leg.AdjustLag, time.Duration(leg.Nanos))
 		}
 	}
 }

@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lsasg/internal/core"
+	"lsasg/internal/obs"
 	"lsasg/internal/skipgraph"
 )
 
@@ -44,6 +46,19 @@ type Config struct {
 	// RouteMiss / zero adjustment instead of aborting the run. Error-free
 	// streams behave identically with or without it.
 	TolerateAdjustMiss bool
+	// Tracer, when non-nil, turns on the observability layer
+	// (internal/obs): stage latency histograms around the batch pipeline
+	// (route leg, adjust apply), per-verb op latency, and slowest-span
+	// exemplars. A nil tracer keeps the hot path timing-free — the cost is
+	// one predictable branch per choke point. Wall-clock measurements never
+	// feed Stats, so tracing cannot perturb the deterministic contracts.
+	Tracer *obs.Tracer
+	// TraceLegsOnly marks this engine as serving legs of a sharded
+	// dispatcher: it still feeds the tracer's stage histograms and the
+	// per-leg timing (Result.RouteNanos), but leaves whole-op spans and
+	// per-verb latency to the dispatcher that assembles the legs —
+	// otherwise every cross-shard op would be double-counted.
+	TraceLegsOnly bool
 }
 
 func (c Config) parallelism() int {
@@ -120,6 +135,12 @@ type Result struct {
 	// previous batch, so the lag is the request's 1-based position within
 	// its batch.
 	AdjustLag int
+
+	// RouteNanos is the wall-clock duration of the op's snapshot-side work
+	// (route plus any Get/Scan read). Populated only when the engine has a
+	// Tracer; exempt from the determinism contracts and never fed into
+	// Stats.
+	RouteNanos int64
 
 	TransformRounds int
 	DirectLevel     int
@@ -380,6 +401,7 @@ func (e *Engine) Serve(ctx context.Context, in <-chan core.Op) (Stats, error) {
 	batch := make([]core.Op, 0, k)
 	routes := make([]routeOut, k)
 	seq := int64(0)
+	tr := e.cfg.Tracer
 	for {
 		batch = batch[:0]
 		stop := false
@@ -400,7 +422,14 @@ func (e *Engine) Serve(ctx context.Context, in <-chan core.Op) (Stats, error) {
 			snap := e.snap.Load()
 			adjCh := make(chan adjOutcome, 1)
 			go func(ops []core.Op) {
+				var started time.Time
+				if tr != nil {
+					started = time.Now()
+				}
 				rs, err := e.applyOps(ops)
+				if tr != nil {
+					tr.ObserveStage(obs.StageAdjustApply, time.Since(started))
+				}
 				adjCh <- adjOutcome{results: rs, err: err}
 			}(batch)
 			routeErr := e.routeBatch(snap, batch, routes)
@@ -423,6 +452,7 @@ func (e *Engine) Serve(ctx context.Context, in <-chan core.Op) (Stats, error) {
 					RouteHops:       routes[i].route.Hops(),
 					RouteMiss:       routes[i].miss,
 					AdjustLag:       i + 1,
+					RouteNanos:      routes[i].nanos,
 					TransformRounds: adj.results[i].TransformRounds,
 					DirectLevel:     adj.results[i].DirectLevel,
 					Alpha:           adj.results[i].Alpha,
@@ -439,6 +469,31 @@ func (e *Engine) Serve(ctx context.Context, in <-chan core.Op) (Stats, error) {
 					r.Found, r.Value, r.Version = routes[i].found, routes[i].val, routes[i].ver
 				case core.OpScan:
 					r.Entries = routes[i].entries
+				}
+				if tr != nil && !e.cfg.TraceLegsOnly {
+					tr.ObserveOp(int64(batch[i].Kind), time.Duration(r.RouteNanos))
+					if tr.WouldRecord(r.RouteNanos) {
+						tr.RecordSpan(obs.Span{
+							Seq:           r.Seq,
+							Kind:          int64(batch[i].Kind),
+							Src:           batch[i].Src,
+							Dst:           batch[i].Dst,
+							Start:         time.Now().UnixNano(),
+							TotalNanos:    r.RouteNanos,
+							Epoch:         r.Epoch,
+							RouteDistance: int64(r.RouteDistance),
+							RouteHops:     int64(r.RouteHops),
+							AdjustLag:     int64(r.AdjustLag),
+							RouteMiss:     r.RouteMiss,
+							Legs: []obs.LegSpan{{
+								Distance:  int64(r.RouteDistance),
+								Hops:      int64(r.RouteHops),
+								AdjustLag: int64(r.AdjustLag),
+								Epoch:     r.Epoch,
+								Nanos:     r.RouteNanos,
+							}},
+						})
+					}
 				}
 				seq++
 				st.accumulate(r)
@@ -534,6 +589,7 @@ type routeOut struct {
 	val     []byte
 	ver     int64
 	entries []skipgraph.Entry
+	nanos   int64 // wall time of the snapshot-side work; 0 without a Tracer
 }
 
 // routeOp performs the snapshot half of one op. OpRoute keeps the strict
@@ -570,6 +626,21 @@ func (e *Engine) routeOp(snap *Snapshot, op core.Op) (routeOut, error) {
 	return out, nil
 }
 
+// routeOpTraced wraps routeOp with the per-leg wall clock when tracing is
+// on; with a nil tracer it is routeOp plus one branch.
+func (e *Engine) routeOpTraced(snap *Snapshot, op core.Op) (routeOut, error) {
+	tr := e.cfg.Tracer
+	if tr == nil {
+		return e.routeOp(snap, op)
+	}
+	start := time.Now()
+	out, err := e.routeOp(snap, op)
+	d := time.Since(start)
+	out.nanos = int64(d)
+	tr.ObserveStage(obs.StageRouteLeg, d)
+	return out, err
+}
+
 // routeBatch routes every op of the batch against the snapshot, fanning
 // the work over the configured number of workers. results[i] corresponds to
 // batch[i], so the outcome is independent of worker scheduling.
@@ -579,11 +650,32 @@ func (e *Engine) routeBatch(snap *Snapshot, batch []core.Op, results []routeOut)
 		p = len(batch)
 	}
 	if p == 1 {
+		tr := e.cfg.Tracer
+		if tr == nil {
+			for i, op := range batch {
+				r, err := e.routeOp(snap, op)
+				if err != nil {
+					return err
+				}
+				results[i] = r
+			}
+			return nil
+		}
+		// Chained clock: op i's end timestamp doubles as op i+1's start, so
+		// the sequential hot path pays one clock read per op instead of two.
+		// The loop body between reads is a few stores — the skew is noise
+		// next to any op the histograms can resolve.
+		prev := time.Now()
 		for i, op := range batch {
 			r, err := e.routeOp(snap, op)
 			if err != nil {
 				return err
 			}
+			now := time.Now()
+			d := now.Sub(prev)
+			prev = now
+			r.nanos = int64(d)
+			tr.ObserveStage(obs.StageRouteLeg, d)
 			results[i] = r
 		}
 		return nil
@@ -603,7 +695,7 @@ func (e *Engine) routeBatch(snap *Snapshot, batch []core.Op, results []routeOut)
 				if i >= len(batch) {
 					return
 				}
-				r, err := e.routeOp(snap, batch[i])
+				r, err := e.routeOpTraced(snap, batch[i])
 				if err != nil {
 					errOnce.Do(func() { outErr = err })
 					return

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"lsasg/internal/core"
+	"lsasg/internal/obs"
 	"lsasg/internal/skipgraph"
 )
 
@@ -102,6 +103,7 @@ func (e *Engine) Route(src, dst int64) (skipgraph.RouteResult, int64, error) {
 			return r, snap.Epoch, err
 		}
 		e.detected.Add(1)
+		e.cfg.Tracer.RetryEvent(obs.EventDeadRoute)
 		e.offer(task{op: opRepair, src: dre.Node.ID()})
 		if attempt >= maxRouteAttempts {
 			return r, snap.Epoch, err
@@ -142,6 +144,7 @@ func (e *Engine) offer(t task) bool {
 	defer e.mu.RUnlock()
 	if !e.started || e.closing {
 		e.shed.Add(1)
+		e.cfg.Tracer.RetryEvent(obs.EventShed)
 		return false
 	}
 	e.enqueued.Add(1)
@@ -151,6 +154,7 @@ func (e *Engine) offer(t task) bool {
 	default:
 		e.enqueued.Add(-1)
 		e.shed.Add(1)
+		e.cfg.Tracer.RetryEvent(obs.EventShed)
 		return false
 	}
 }

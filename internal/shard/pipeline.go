@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"lsasg/internal/core"
+	"lsasg/internal/obs"
 	"lsasg/internal/serve"
 	"lsasg/internal/skipgraph"
 )
@@ -478,10 +480,57 @@ func (s *Service) deliverOutcomes(pending []pendingReq, st *ServeStats) {
 				}
 			}
 		}
+		if tr := s.cfg.Tracer; tr != nil && len(fs) > 0 {
+			s.recordSpan(tr, p, fs, o)
+		}
 		if s.cfg.OnOutcome != nil {
 			s.cfg.OnOutcome(o)
 		}
 	}
+}
+
+// recordSpan folds one assembled op's leg fragments into the tracer: the
+// whole-op verb latency (summed leg service time — queueing and the
+// batch-amortized adjuster pass are excluded; they have their own stage
+// histograms) and, when slow enough to matter, a slowest-ring span with
+// the per-leg breakdown.
+func (s *Service) recordSpan(tr *obs.Tracer, p pendingReq, fs []tagFrag, o Outcome) {
+	var total int64
+	miss := false
+	for _, f := range fs {
+		total += f.r.RouteNanos
+		miss = miss || f.r.RouteMiss
+	}
+	tr.ObserveOp(int64(p.op.Kind), time.Duration(total))
+	if !tr.WouldRecord(total) {
+		return
+	}
+	legs := make([]obs.LegSpan, len(fs))
+	for i, f := range fs {
+		legs[i] = obs.LegSpan{
+			Shard:     int64(f.shard),
+			Distance:  int64(f.r.RouteDistance),
+			Hops:      int64(f.r.RouteHops),
+			AdjustLag: int64(f.r.AdjustLag),
+			Epoch:     f.r.Epoch,
+			Nanos:     f.r.RouteNanos,
+		}
+	}
+	tr.RecordSpan(obs.Span{
+		Seq:           p.tag,
+		Kind:          int64(p.op.Kind),
+		Src:           p.op.Src,
+		Dst:           p.op.Dst,
+		Start:         time.Now().UnixNano(),
+		TotalNanos:    total,
+		Epoch:         fs[0].r.Epoch,
+		RouteDistance: int64(o.RouteDistance),
+		RouteHops:     int64(o.RouteHops),
+		AdjustLag:     int64(o.AdjustLag),
+		RouteMiss:     miss,
+		Cross:         len(fs) > 1 || p.extraHops > 0,
+		Legs:          legs,
+	})
 }
 
 // executeIdle runs one migration with every engine idle, applying

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"lsasg/internal/core"
+	"lsasg/internal/obs"
 	"lsasg/internal/serve"
 	"lsasg/internal/skipgraph"
 )
@@ -50,6 +51,14 @@ type Config struct {
 	// each window barrier of the deterministic Serve pipeline, in dispatch
 	// order.
 	OnOutcome func(o Outcome)
+
+	// Tracer, when non-nil, turns on the observability layer: the shard
+	// engines feed its stage histograms and per-leg timings, and the
+	// dispatcher assembles whole-op spans (with per-leg breakdowns) and
+	// per-verb latency at the window barrier. Routes only get spans when
+	// OnOutcome is set — untagged route legs leave no fragments to
+	// assemble. Wall-clock measurements never feed ServeStats.
+	Tracer *obs.Tracer
 }
 
 func (c Config) shards() int {
@@ -164,6 +173,10 @@ func New(n int, cfg Config) (*Service, error) {
 			BatchSize:          cfg.BatchSize,
 			Backlog:            cfg.Backlog,
 			TolerateAdjustMiss: true,
+			// Engines under a dispatcher feed stage histograms and leg
+			// timings only; the dispatcher owns whole-op spans.
+			Tracer:        cfg.Tracer,
+			TraceLegsOnly: true,
 			// Tagged KV legs report their results here for barrier-time
 			// assembly; untagged (route) legs pass through.
 			OnResult: func(r serve.Result) { svc.captureFrag(shardIdx, r) },

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"lsasg"
+	"lsasg/internal/obs"
 )
 
 // Client speaks the wire protocol to one server. Connections are pooled:
@@ -292,6 +293,17 @@ func (c *Client) Crash(idx int) error {
 func (c *Client) Verify() error {
 	_, err := c.Do(Request{Verb: VerbVerify})
 	return err
+}
+
+// TraceDump fetches the daemon's slowest-span ring (at most limit spans,
+// 0 for all retained) plus per-verb latency summaries. Fails with
+// CodeInvalid when the daemon runs without tracing.
+func (c *Client) TraceDump(limit int) ([]obs.Span, []obs.VerbLatency, error) {
+	resp, err := c.Do(Request{Verb: VerbTraceDump, Limit: int64(limit)})
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp.Spans, resp.Latency, nil
 }
 
 // --- pipelined replay -------------------------------------------------------

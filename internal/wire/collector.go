@@ -3,12 +3,14 @@ package wire
 import (
 	"fmt"
 	"net/http"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"lsasg"
+	"lsasg/internal/obs"
 )
 
 // Collector aggregates serving observability without perturbing the hot
@@ -39,6 +41,13 @@ type Collector struct {
 
 	conns atomic.Int64
 
+	// tracer backs the latency-histogram and retry-event families. Always
+	// non-nil: NewCollector installs a private one so Render always emits
+	// the full family set; WithTracer swaps in the service's live tracer
+	// before the server starts, so every family then reflects real serving
+	// measurements.
+	tracer *obs.Tracer
+
 	// Boundary snapshot: cumulative service stats captured when a serving
 	// generation ends (ServeOps returned, service idle).
 	mu   sync.Mutex
@@ -55,7 +64,15 @@ type Collector struct {
 // NewCollector creates an empty collector.
 func NewCollector() *Collector {
 	now := time.Now()
-	return &Collector{start: now, prevAt: now}
+	return &Collector{start: now, prevAt: now, tracer: obs.NewTracer()}
+}
+
+// setTracer replaces the collector's metric source with the service's live
+// tracer. Must be called before the server starts handling connections.
+func (c *Collector) setTracer(tr *obs.Tracer) {
+	if tr != nil {
+		c.tracer = tr
+	}
 }
 
 // observeResult records one completed op.
@@ -90,10 +107,15 @@ func (c *Collector) observeResult(v Verb, r lsasg.OpResult) {
 // observeAdmin records one completed admin request.
 func (c *Collector) observeAdmin(v Verb) { c.ops[v].Add(1) }
 
-// observeError records one non-OK response.
+// observeError records one non-OK response. Unknown-key responses also
+// feed the tracer's retry-event counter: on the wire they are exactly the
+// ErrUnknownKey outcomes a free-running client would retry.
 func (c *Collector) observeError(code ErrCode) {
 	if int(code) < len(c.errs) {
 		c.errs[code].Add(1)
+	}
+	if code == CodeUnknownKey {
+		c.tracer.RetryEvent(obs.EventUnknownKey)
 	}
 }
 
@@ -202,6 +224,48 @@ func (c *Collector) Render() string {
 	fmt.Fprintf(&b, "dsg_kv_hits_total{op=\"delete\"} %d\n", c.delHits.Load())
 	counter("dsg_kv_scanned_entries_total", "Entries returned across all scans.")
 	fmt.Fprintf(&b, "dsg_kv_scanned_entries_total %d\n", c.scanned.Load())
+
+	histogram := func(name, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	}
+	writeHist := func(name, label, value string, h *obs.Histogram) {
+		buckets, sumNanos, count := h.Snapshot()
+		cum := int64(0)
+		for i := 0; i < obs.NumBuckets; i++ {
+			cum += buckets[i]
+			fmt.Fprintf(&b, "%s_bucket{%s=%q,le=\"%g\"} %d\n",
+				name, label, value, obs.BucketBound(i).Seconds(), cum)
+		}
+		cum += buckets[obs.NumBuckets]
+		fmt.Fprintf(&b, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, label, value, cum)
+		fmt.Fprintf(&b, "%s_sum{%s=%q} %g\n", name, label, value, float64(sumNanos)/1e9)
+		fmt.Fprintf(&b, "%s_count{%s=%q} %d\n", name, label, value, count)
+	}
+
+	histogram("dsg_op_latency_seconds", "Snapshot-side service time per completed op, by verb.")
+	for k := int64(0); k < obs.NumKinds(); k++ {
+		writeHist("dsg_op_latency_seconds", "verb", obs.KindName(k), c.tracer.VerbHistogram(k))
+	}
+	histogram("dsg_stage_latency_seconds", "Per-stage pipeline timings: one route leg, one adjuster batch apply.")
+	for st := 0; st < obs.NumStages(); st++ {
+		writeHist("dsg_stage_latency_seconds", "stage", obs.StageName(st), c.tracer.StageHistogram(st))
+	}
+
+	counter("dsg_retry_events_total", "Retry-triggering events: shed requests, unknown-key responses, dead-route detections.")
+	for ev := 0; ev < obs.NumEvents(); ev++ {
+		fmt.Fprintf(&b, "dsg_retry_events_total{event=%q} %d\n", obs.EventName(ev), c.tracer.RetryEvents(ev))
+	}
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gauge("dsg_goroutines", "Live goroutines in the daemon process.")
+	fmt.Fprintf(&b, "dsg_goroutines %d\n", runtime.NumGoroutine())
+	gauge("dsg_heap_alloc_bytes", "Heap bytes in use (runtime.MemStats.HeapAlloc).")
+	fmt.Fprintf(&b, "dsg_heap_alloc_bytes %d\n", ms.HeapAlloc)
+	counter("dsg_gc_cycles_total", "Completed garbage-collection cycles.")
+	fmt.Fprintf(&b, "dsg_gc_cycles_total %d\n", ms.NumGC)
+	counter("dsg_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.")
+	fmt.Fprintf(&b, "dsg_gc_pause_seconds_total %g\n", float64(ms.PauseTotalNs)/1e9)
 
 	gauge("dsg_height", "Skip-graph height at the last generation boundary.")
 	fmt.Fprintf(&b, "dsg_height %d\n", last.Height)

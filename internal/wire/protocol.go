@@ -1,7 +1,7 @@
 // Package wire is the networked runtime of the self-adjusting skip graph: a
 // length-prefixed binary protocol carrying the full op envelope
 // (Route/Get/Put/Delete/Scan) plus admin verbs (Stats, AddNode, RemoveNode,
-// Crash, Verify), a Server that fronts any lsasg.Service over TCP, and a
+// Crash, Verify, TraceDump), a Server that fronts any lsasg.Service over TCP, and a
 // pooling Client with transient-error retry. The deterministic serving
 // contract survives the wire: a server runs the service's ServeOps pipeline
 // in generations, so a trace replayed through a connection produces stats
@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"lsasg"
+	"lsasg/internal/obs"
 )
 
 // ErrRetry reports an op aborted by a serving-generation restart — another
@@ -49,8 +50,13 @@ const (
 	VerbCrash
 	// VerbVerify checks all structural invariants of the topology.
 	VerbVerify
+	// VerbTraceDump returns the slowest-span exemplars and per-verb latency
+	// summaries from a tracing-enabled daemon. Limit caps the span count
+	// (0 returns every retained span). Like every admin verb it cycles the
+	// serving generation.
+	VerbTraceDump
 
-	verbMax = VerbVerify
+	verbMax = VerbTraceDump
 
 	// responseFlag marks a frame as the response to the verb in its low
 	// bits.
@@ -80,6 +86,8 @@ func (v Verb) String() string {
 		return "crash"
 	case VerbVerify:
 		return "verify"
+	case VerbTraceDump:
+		return "tracedump"
 	}
 	return fmt.Sprintf("verb(%d)", uint8(v))
 }
@@ -167,6 +175,12 @@ type Response struct {
 	Entries []Entry
 
 	Stats *StatsPayload
+
+	// Spans and Latency carry VerbTraceDump's result: the slowest-span
+	// exemplars (slowest first) and the per-verb latency summaries. Empty
+	// on every other verb.
+	Spans   []obs.Span
+	Latency []obs.VerbLatency
 }
 
 // --- frame I/O -------------------------------------------------------------
@@ -442,7 +456,88 @@ func (r Response) Encode() []byte {
 	} else {
 		e.bool(false)
 	}
+	e.buf = binary.BigEndian.AppendUint32(e.buf, uint32(len(r.Spans)))
+	for _, s := range r.Spans {
+		encodeSpan(&e, s)
+	}
+	e.buf = binary.BigEndian.AppendUint32(e.buf, uint32(len(r.Latency)))
+	for _, l := range r.Latency {
+		e.i64(l.Kind)
+		e.i64(l.Count)
+		e.i64(l.P50Nanos)
+		e.i64(l.P99Nanos)
+	}
 	return e.buf
+}
+
+// Span and latency wire sizes: the fixed prefix of one span (ten i64s, two
+// bools, one leg count) and the full size of one leg / one latency entry.
+// The decoder's count bombs are rejected against them before allocating.
+const (
+	spanMinWire     = 10*8 + 2 + 4
+	legWire         = 6 * 8
+	verbLatencyWire = 4 * 8
+)
+
+func encodeSpan(e *encoder, s obs.Span) {
+	e.i64(s.Seq)
+	e.i64(s.Kind)
+	e.i64(s.Src)
+	e.i64(s.Dst)
+	e.i64(s.Start)
+	e.i64(s.TotalNanos)
+	e.i64(s.Epoch)
+	e.i64(s.RouteDistance)
+	e.i64(s.RouteHops)
+	e.i64(s.AdjustLag)
+	e.bool(s.RouteMiss)
+	e.bool(s.Cross)
+	e.buf = binary.BigEndian.AppendUint32(e.buf, uint32(len(s.Legs)))
+	for _, l := range s.Legs {
+		e.i64(l.Shard)
+		e.i64(l.Distance)
+		e.i64(l.Hops)
+		e.i64(l.AdjustLag)
+		e.i64(l.Epoch)
+		e.i64(l.Nanos)
+	}
+}
+
+func decodeSpan(d *decoder) obs.Span {
+	var s obs.Span
+	s.Seq = d.i64()
+	s.Kind = d.i64()
+	s.Src = d.i64()
+	s.Dst = d.i64()
+	s.Start = d.i64()
+	s.TotalNanos = d.i64()
+	s.Epoch = d.i64()
+	s.RouteDistance = d.i64()
+	s.RouteHops = d.i64()
+	s.AdjustLag = d.i64()
+	s.RouteMiss = d.bool()
+	s.Cross = d.bool()
+	if d.err != nil || len(d.buf) < 4 {
+		d.fail()
+		return s
+	}
+	m := binary.BigEndian.Uint32(d.buf)
+	d.buf = d.buf[4:]
+	if uint64(m)*legWire > uint64(len(d.buf)) {
+		d.fail()
+		return s
+	}
+	for i := uint32(0); i < m && d.err == nil; i++ {
+		s.Legs = append(s.Legs, obs.LegSpan{
+			Shard:     d.i64(),
+			Distance:  d.i64(),
+			Hops:      d.i64(),
+			AdjustLag: d.i64(),
+			Epoch:     d.i64(),
+			Nanos:     d.i64(),
+		})
+	}
+	return s
 }
 
 // DecodeResponse parses one response frame body.
@@ -478,6 +573,37 @@ func DecodeResponse(body []byte) (Response, error) {
 	}
 	if d.bool() {
 		r.Stats = decodeStats(&d)
+	}
+	if d.err == nil && len(d.buf) >= 4 {
+		n := binary.BigEndian.Uint32(d.buf)
+		d.buf = d.buf[4:]
+		if uint64(n)*spanMinWire > uint64(len(d.buf)) {
+			d.fail()
+		} else {
+			for i := uint32(0); i < n && d.err == nil; i++ {
+				r.Spans = append(r.Spans, decodeSpan(&d))
+			}
+		}
+	} else {
+		d.fail()
+	}
+	if d.err == nil && len(d.buf) >= 4 {
+		n := binary.BigEndian.Uint32(d.buf)
+		d.buf = d.buf[4:]
+		if uint64(n)*verbLatencyWire > uint64(len(d.buf)) {
+			d.fail()
+		} else {
+			for i := uint32(0); i < n && d.err == nil; i++ {
+				r.Latency = append(r.Latency, obs.VerbLatency{
+					Kind:     d.i64(),
+					Count:    d.i64(),
+					P50Nanos: d.i64(),
+					P99Nanos: d.i64(),
+				})
+			}
+		}
+	} else {
+		d.fail()
 	}
 	if err := d.done(); err != nil {
 		return Response{}, err

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"lsasg"
+	"lsasg/internal/obs"
 )
 
 // Exhaustive codec coverage: every verb round-trips losslessly through
@@ -28,6 +29,7 @@ func sampleRequests() []Request {
 		{Verb: VerbRemoveNode, Seq: 9, Dst: 31},
 		{Verb: VerbCrash, Seq: 10, Dst: 4},
 		{Verb: VerbVerify, Seq: 11},
+		{Verb: VerbTraceDump, Seq: 12, Limit: 16},
 		{Verb: VerbRoute, Seq: ^uint64(0), Src: -1, Dst: 1 << 40}, // extremes survive
 	}
 }
@@ -62,6 +64,28 @@ func sampleResponses() []Response {
 		{Verb: VerbCrash, Seq: 9, Code: CodeOutOfRange, Msg: "node index 99 not in [0, 32)"},
 		{Verb: VerbVerify, Seq: 10, Code: CodeInternal, Msg: "invariant broken"},
 		{Verb: VerbRoute, Seq: 11, Code: CodeRetry, Msg: "serving generation restarted"},
+		{Verb: VerbTraceDump, Seq: 12, Spans: []obs.Span{
+			{
+				Seq: 41, Kind: obs.KindScan, Src: 7, Dst: 0, Start: 1700000000_000000001,
+				TotalNanos: 48_500, Epoch: 12, RouteDistance: 0, RouteHops: 0,
+				AdjustLag: 3, Cross: true,
+				Legs: []obs.LegSpan{
+					{Shard: 0, Distance: 0, Hops: 0, AdjustLag: 3, Epoch: 12, Nanos: 30_000},
+					{Shard: 1, Distance: 0, Hops: 0, AdjustLag: 1, Epoch: 9, Nanos: 18_500},
+				},
+			},
+			{
+				Seq: 17, Kind: obs.KindRoute, Src: 3, Dst: 29, Start: 1700000000_000000002,
+				TotalNanos: 9_000, Epoch: 4, RouteDistance: 5, RouteHops: 6,
+				AdjustLag: 2, RouteMiss: true,
+				Legs: []obs.LegSpan{{Distance: 5, Hops: 6, AdjustLag: 2, Epoch: 4, Nanos: 9_000}},
+			},
+			{Seq: 2, Kind: obs.KindGet, Src: 1, Dst: 9}, // zero span, no legs
+		}, Latency: []obs.VerbLatency{
+			{Kind: obs.KindRoute, Count: 100, P50Nanos: 2048, P99Nanos: 16384},
+			{Kind: obs.KindScan, Count: 4, P50Nanos: 32768, P99Nanos: 65536},
+		}},
+		{Verb: VerbTraceDump, Seq: 13}, // tracing disabled: empty dump
 	}
 }
 
@@ -162,17 +186,32 @@ func TestDecodeResponseRejectsMalformed(t *testing.T) {
 	}
 }
 
-// TestDecodeResponseEntryCountBomb feeds a frame whose entry count
-// promises far more entries than the frame could hold: the decoder must
-// refuse without allocating for them.
-func TestDecodeResponseEntryCountBomb(t *testing.T) {
-	resp := Response{Verb: VerbScan, Seq: 1}
-	body := resp.Encode()
-	// The entry count sits 4+... from the end: [count:4][hasStats:1].
-	bomb := append([]byte{}, body...)
-	copy(bomb[len(bomb)-5:], []byte{0xff, 0xff, 0xff, 0x0f})
-	if _, err := DecodeResponse(bomb); err == nil {
-		t.Error("entry-count bomb must fail to decode")
+// TestDecodeResponseCountBombs feeds frames whose section counts (entries,
+// spans, span legs, latency summaries) promise far more elements than the
+// frame could hold: the decoder must refuse without allocating for them.
+// Offsets count back from the frame tail, which is
+// [entryCount:4][hasStats:1][spanCount:4][latencyCount:4].
+func TestDecodeResponseCountBombs(t *testing.T) {
+	body := Response{Verb: VerbScan, Seq: 1}.Encode()
+	bombAt := func(fromEnd int) []byte {
+		b := append([]byte{}, body...)
+		copy(b[len(b)-fromEnd:], []byte{0xff, 0xff, 0xff, 0x0f})
+		return b
+	}
+	cases := map[string][]byte{
+		"entry count":   bombAt(13),
+		"span count":    bombAt(8),
+		"latency count": bombAt(4),
+	}
+	// A leg-count bomb needs a span whose leg count is the last field.
+	withSpan := Response{Verb: VerbTraceDump, Seq: 2, Spans: []obs.Span{{Seq: 1}}}.Encode()
+	legBomb := append([]byte{}, withSpan...)
+	copy(legBomb[len(legBomb)-8:], []byte{0xff, 0xff, 0xff, 0x0f})
+	cases["leg count"] = legBomb
+	for name, b := range cases {
+		if _, err := DecodeResponse(b); err == nil {
+			t.Errorf("%s bomb must fail to decode", name)
+		}
 	}
 }
 
@@ -198,7 +237,7 @@ func TestRequestOpMapping(t *testing.T) {
 			t.Errorf("RequestFor(%+v) = %+v, %v; want %+v", tc.want, back, ok, tc.req)
 		}
 	}
-	for _, v := range []Verb{VerbStats, VerbAddNode, VerbRemoveNode, VerbCrash, VerbVerify} {
+	for _, v := range []Verb{VerbStats, VerbAddNode, VerbRemoveNode, VerbCrash, VerbVerify, VerbTraceDump} {
 		if _, ok := (Request{Verb: v}).Op(); ok {
 			t.Errorf("admin verb %v must not map to an op", v)
 		}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"lsasg"
+	"lsasg/internal/obs"
 )
 
 // nodeAdmin is the optional membership surface behind VerbAddNode and
@@ -38,8 +39,9 @@ type crasher interface{ Crash(idx int) error }
 // with the real error and every later one with CodeRetry — their ops were
 // fine, the pipeline just restarted under them.
 type Server struct {
-	svc lsasg.Service
-	col *Collector
+	svc    lsasg.Service
+	col    *Collector
+	tracer *obs.Tracer
 
 	writeTimeout time.Duration
 	idleTimeout  time.Duration
@@ -118,6 +120,19 @@ func WithMaxPending(n int) ServerOption {
 	return func(s *Server) {
 		if n > 0 {
 			s.maxPending = n
+		}
+	}
+}
+
+// WithTracer attaches the service's observability tracer: VerbTraceDump
+// answers from its slow-span ring, and the collector renders its latency
+// histograms and retry counters on /metrics. Without it, TraceDump
+// answers CodeInvalid and the histogram families render empty.
+func WithTracer(tr *obs.Tracer) ServerOption {
+	return func(s *Server) {
+		if tr != nil {
+			s.tracer = tr
+			s.col.setTracer(tr)
 		}
 	}
 }
@@ -415,6 +430,13 @@ func (s *Server) handleAdmin(it item) {
 			break
 		}
 		s.n.Store(int64(s.svc.N()))
+	case VerbTraceDump:
+		if s.tracer == nil {
+			resp = errResponse(req, CodeInvalid, "tracing is not enabled on this daemon")
+			break
+		}
+		resp.Spans = s.tracer.SlowSpans(int(req.Limit))
+		resp.Latency = s.tracer.VerbLatencies()
 	case VerbCrash:
 		cr, ok := s.svc.(crasher)
 		if !ok {

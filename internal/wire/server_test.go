@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"lsasg"
+	"lsasg/internal/obs"
 )
 
 // Loopback integration: a real server on 127.0.0.1, a real client, and the
@@ -204,31 +205,40 @@ func TestReplayDeterminism(t *testing.T) {
 	const n, length, seed = 64, 400, 17
 	cases := []struct {
 		name  string
-		build func() (lsasg.Service, error)
+		build func(extra ...lsasg.Option) (lsasg.Service, error)
 	}{
-		{"single", func() (lsasg.Service, error) {
-			return lsasg.New(n, lsasg.WithSeed(seed), lsasg.WithBatchSize(1))
+		{"single", func(extra ...lsasg.Option) (lsasg.Service, error) {
+			opts := append([]lsasg.Option{lsasg.WithSeed(seed), lsasg.WithBatchSize(1)}, extra...)
+			return lsasg.New(n, opts...)
 		}},
-		{"sharded", func() (lsasg.Service, error) {
-			return lsasg.NewSharded(n, lsasg.WithShards(4), lsasg.WithSeed(seed),
-				lsasg.WithBatchSize(1), lsasg.WithRebalanceWindow(1))
+		{"sharded", func(extra ...lsasg.Option) (lsasg.Service, error) {
+			opts := append([]lsasg.Option{lsasg.WithShards(4), lsasg.WithSeed(seed),
+				lsasg.WithBatchSize(1), lsasg.WithRebalanceWindow(1)}, extra...)
+			return lsasg.NewSharded(n, opts...)
 		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			ops := ReplayTrace(n, length, seed)
 
+			// The reference run is untraced; the wire run carries full
+			// instrumentation. Matching stats pin the contract that tracing
+			// never perturbs the deterministic pipeline.
 			ref, err := tc.build()
 			if err != nil {
 				t.Fatal(err)
 			}
 			want := StatsColumns(inProcessReplay(t, ref, ops))
 
-			svc, err := tc.build()
+			svc, err := tc.build(lsasg.WithTracing())
 			if err != nil {
 				t.Fatal(err)
 			}
-			_, cl := startServer(t, svc)
+			tr := svc.(interface{ Tracer() *obs.Tracer }).Tracer()
+			if tr == nil {
+				t.Fatal("WithTracing left the tracer nil")
+			}
+			_, cl := startServer(t, svc, WithTracer(tr))
 			resps, stats, err := cl.Replay(ops)
 			if err != nil {
 				t.Fatal(err)
@@ -248,7 +258,75 @@ func TestReplayDeterminism(t *testing.T) {
 			if err := cl.Verify(); err != nil {
 				t.Fatal(err)
 			}
+
+			// The instrumented run actually measured: every replayed op fed
+			// its verb histogram, and the slow-span ring retained spans.
+			spans, lats, err := cl.TraceDump(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(spans) == 0 {
+				t.Error("trace dump returned no spans after a 400-op replay")
+			}
+			var measured int64
+			for _, l := range lats {
+				measured += l.Count
+			}
+			if measured != int64(len(ops)) {
+				t.Errorf("verb histograms measured %d ops, want %d", measured, len(ops))
+			}
+			for _, s := range spans {
+				if s.TotalNanos <= 0 || len(s.Legs) == 0 {
+					t.Errorf("degenerate span: %+v", s)
+				}
+			}
 		})
+	}
+}
+
+func TestTraceDumpDisabled(t *testing.T) {
+	nw, err := lsasg.New(16, lsasg.WithSeed(19), lsasg.WithBatchSize(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cl := startServer(t, nw) // no WithTracer
+	if _, _, err := cl.TraceDump(8); err == nil || !strings.Contains(err.Error(), "tracing is not enabled") {
+		t.Fatalf("trace dump on untraced daemon returned %v, want invalid-request refusal", err)
+	}
+}
+
+func TestTraceDumpLimit(t *testing.T) {
+	nw, err := lsasg.New(32, lsasg.WithSeed(21), lsasg.WithBatchSize(1), lsasg.WithTracing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cl := startServer(t, nw, WithTracer(nw.Tracer()))
+	for i := 0; i < 20; i++ {
+		if _, _, err := cl.Put(i, (i+5)%32, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spans, lats, err := cl.TraceDump(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) == 0 || len(spans) > 3 {
+		t.Fatalf("limit 3 returned %d spans", len(spans))
+	}
+	// Slowest-first ordering survives the wire.
+	for i := 1; i < len(spans); i++ {
+		if spans[i].TotalNanos > spans[i-1].TotalNanos {
+			t.Errorf("spans out of order: %d then %d ns", spans[i-1].TotalNanos, spans[i].TotalNanos)
+		}
+	}
+	var put int64
+	for _, l := range lats {
+		if l.Kind == obs.KindPut {
+			put = l.Count
+		}
+	}
+	if put != 20 {
+		t.Errorf("put latency count = %d, want 20", put)
 	}
 }
 

@@ -230,6 +230,7 @@ func (nw *Network) ServeOps(ctx context.Context, ops <-chan Op, onResult func(Op
 	eng := serve.New(nw.dsg, serve.Config{
 		Parallelism: nw.parallelism,
 		BatchSize:   nw.batchSize,
+		Tracer:      nw.tracer,
 		OnResult: func(r serve.Result) {
 			// Sequence-order bookkeeping, identical to Request's. Every op
 			// feeds the working set — a scan is the access (src, start) —

@@ -23,6 +23,7 @@ import (
 	"io"
 
 	"lsasg/internal/core"
+	"lsasg/internal/obs"
 	"lsasg/internal/skipgraph"
 	"lsasg/internal/workingset"
 )
@@ -40,6 +41,7 @@ type options struct {
 	batchSize       int
 	shards          int
 	rebalanceWindow int
+	trace           bool
 }
 
 // WithBalance sets the a-balance parameter (≥ 2). Larger values reduce
@@ -106,6 +108,16 @@ func WithRebalanceWindow(w int) Option {
 	return func(o *options) { o.rebalanceWindow = w }
 }
 
+// WithTracing enables the observability layer (internal/obs): per-verb and
+// per-stage latency histograms, retry-event counters, and a slowest-span
+// exemplar ring, all threaded through the serving pipelines. The
+// measurements are wall-clock and exempt from the deterministic-statistics
+// contracts — enabling tracing never changes any Stats or ServeOps result.
+// Read the tracer back with Network.Tracer / ShardedNetwork.Tracer.
+func WithTracing() Option {
+	return func(o *options) { o.trace = true }
+}
+
 // Result reports one served request.
 type Result struct {
 	// RouteDistance is d_S(σ): intermediate nodes on the routing path.
@@ -141,6 +153,7 @@ type Network struct {
 
 	parallelism int
 	batchSize   int
+	tracer      *obs.Tracer
 
 	requests             int
 	totalRouteDistance   int64
@@ -162,11 +175,19 @@ func New(n int, opts ...Option) (*Network, error) {
 		cfg.Finder = core.ExactFinder{}
 	}
 	nw := &Network{dsg: core.New(n, cfg), n: n, parallelism: o.parallelism, batchSize: o.batchSize}
+	if o.trace {
+		nw.tracer = obs.NewTracer()
+	}
 	if o.trackWorkingSet {
 		nw.ws = workingset.NewBound(n)
 	}
 	return nw, nil
 }
+
+// Tracer returns the observability tracer when the network was built with
+// WithTracing, nil otherwise. A nil tracer is safe everywhere — every
+// method no-ops on it.
+func (nw *Network) Tracer() *obs.Tracer { return nw.tracer }
 
 // N returns the number of (real) nodes.
 func (nw *Network) N() int { return nw.n }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"lsasg/internal/obs"
 	"lsasg/internal/shard"
 	"lsasg/internal/workingset"
 )
@@ -25,9 +26,10 @@ import (
 // Network, its methods must not be called concurrently — all concurrency
 // lives inside the service.
 type ShardedNetwork struct {
-	svc *shard.Service
-	ws  *workingset.Bound
-	n   int
+	svc    *shard.Service
+	ws     *workingset.Bound
+	n      int
+	tracer *obs.Tracer
 
 	requests           int64
 	crossShard         int64
@@ -53,6 +55,9 @@ func NewSharded(n int, opts ...Option) (*ShardedNetwork, error) {
 		return nil, fmt.Errorf("lsasg: need at least 1 shard, got %d", o.shards)
 	}
 	nw := &ShardedNetwork{n: n}
+	if o.trace {
+		nw.tracer = obs.NewTracer()
+	}
 	if o.trackWorkingSet {
 		nw.ws = workingset.NewBound(n)
 	}
@@ -80,6 +85,7 @@ func NewSharded(n int, opts ...Option) (*ShardedNetwork, error) {
 				nw.onOutcome(o)
 			}
 		},
+		Tracer: nw.tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -90,6 +96,10 @@ func NewSharded(n int, opts ...Option) (*ShardedNetwork, error) {
 
 // N returns the number of nodes.
 func (nw *ShardedNetwork) N() int { return nw.n }
+
+// Tracer returns the observability tracer when the network was built with
+// WithTracing, nil otherwise.
+func (nw *ShardedNetwork) Tracer() *obs.Tracer { return nw.tracer }
 
 // Shards returns the shard count.
 func (nw *ShardedNetwork) Shards() int { return nw.svc.Shards() }
